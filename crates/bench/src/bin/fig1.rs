@@ -1,0 +1,51 @@
+//! Figure 1 — 1-week examples of the three KPIs, with anomalous windows
+//! marked (the paper circles "some obvious (not all) anomalies").
+//!
+//! Run: `cargo run --release -p opprentice-bench --bin fig1`
+//! Prints ASCII sparklines and writes the raw series to CSV for plotting.
+
+use opprentice_bench::sparkline;
+use opprentice_datagen::presets;
+
+fn main() {
+    println!("Figure 1: 1-week examples of the three KPIs\n");
+    for spec in presets::all() {
+        let kpi = spec.generate();
+        let ppw = kpi.series.points_per_week();
+        // Show the second week (the first may have injection edge effects).
+        let week = kpi.series.slice(ppw..2 * ppw);
+        let anomalies: Vec<(usize, usize)> = kpi
+            .windows
+            .iter()
+            .filter(|w| w.start >= ppw && w.end <= 2 * ppw)
+            .map(|w| (w.start - ppw, w.end - ppw))
+            .collect();
+        println!("{} (week 2, {} points, {} anomalous windows)", kpi.name, week.len(), anomalies.len());
+        println!("  {}", sparkline(week.values(), 96));
+        // A marker line showing where the anomalies sit.
+        let mut marks = vec![' '; 96];
+        for (s, e) in &anomalies {
+            let lo = s * 96 / week.len();
+            let hi = (e * 96 / week.len()).min(95);
+            for m in marks.iter_mut().take(hi + 1).skip(lo) {
+                *m = '^';
+            }
+        }
+        println!("  {}\n", marks.iter().collect::<String>());
+
+        let rows: Vec<String> = week
+            .iter()
+            .enumerate()
+            .map(|(i, (ts, v))| {
+                let anomalous = kpi.truth.is_anomaly(ppw + i);
+                format!("{ts},{},{}", v.map(|x| x.to_string()).unwrap_or_default(), u8::from(anomalous))
+            })
+            .collect();
+        opprentice_bench::write_csv(
+            &format!("fig1_{}.csv", kpi.name.replace('#', "")),
+            "timestamp,value,anomalous",
+            &rows,
+        );
+    }
+    println!("Shape check vs paper: PV strongly periodic; #SR spiky; SRT tight band with mild daily cycle.");
+}

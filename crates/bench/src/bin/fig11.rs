@@ -1,0 +1,67 @@
+//! Figure 11 — AUCPR of the three training-set strategies of Table 2:
+//! I4 (all historical data, incremental retraining), R4 (recent 8 weeks),
+//! F4 (first 8 weeks), on 4-week moving test windows.
+//!
+//! Paper's shape: "I4 (also called incremental retraining) outperforms the
+//! other two training sets in most cases", with #SR showing little
+//! difference (its anomaly types are simple and stable).
+//!
+//! Run: `cargo run --release -p opprentice-bench --bin fig11 [--full]`
+
+use opprentice::strategy::{EvalPlan, TrainingStrategy};
+use opprentice_bench::{prepare_all, write_csv, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!("Figure 11: AUCPR of training-set strategies\n");
+    println!("Table 2: training sets and test sets");
+    println!("  {:<4} {:<22} {:<22}", "ID", "training set", "test set");
+    for (id, train, test) in [
+        ("I1", "all historical data", "1-week moving window"),
+        ("I4", "all historical data", "4-week moving window"),
+        ("R4", "recent 8-week data", "4-week moving window"),
+        ("F4", "first 8-week data", "4-week moving window"),
+    ] {
+        println!("  {id:<4} {train:<22} {test:<22}");
+    }
+    println!("  (test sets start from the 9th week and move 1 week per step)\n");
+
+    let strategies = [
+        TrainingStrategy::AllHistory,
+        TrainingStrategy::RecentWeeks(8),
+        TrainingStrategy::FirstWeeks(8),
+    ];
+
+    let mut rows = Vec::new();
+    for run in prepare_all(&opts) {
+        let ev = run.evaluator(&opts);
+        println!("== KPI: {} ==", run.kpi.name);
+        let mut per_strategy: Vec<(String, Vec<f64>)> = Vec::new();
+        for strat in strategies {
+            let id = strat.table2_id(4);
+            let outcomes = ev.run(strat, EvalPlan::four_week());
+            let aucs: Vec<f64> = outcomes.iter().map(|o| o.auc_pr).collect();
+            for (w, o) in outcomes.iter().enumerate() {
+                rows.push(format!("{},{id},{w},{:.4}", run.kpi.name, o.auc_pr));
+            }
+            per_strategy.push((id, aucs));
+        }
+        let windows = per_strategy[0].1.len();
+        println!("{:<8} {}", "window", per_strategy.iter().map(|(id, _)| format!("{id:>8}")).collect::<String>());
+        for w in 0..windows {
+            print!("{w:<8} ");
+            for (_, aucs) in &per_strategy {
+                print!("{:>8.3}", aucs[w]);
+            }
+            println!();
+        }
+        // Summary: how often I4 wins or ties within 0.01.
+        let i4 = &per_strategy[0].1;
+        let wins = (0..windows)
+            .filter(|&w| per_strategy[1..].iter().all(|(_, a)| i4[w] >= a[w] - 0.01))
+            .count();
+        println!("I4 best-or-tied in {wins}/{windows} windows\n");
+    }
+    write_csv("fig11.csv", "kpi,strategy,window,aucpr", &rows);
+    println!("Shape check vs paper: incremental retraining (I4) wins or ties in most windows.");
+}

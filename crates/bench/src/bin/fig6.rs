@@ -1,0 +1,66 @@
+//! Figure 6 — a PR curve of a random forest trained and tested on PV, with
+//! the operating points selected by the default cThld (0.5), F-Score,
+//! SD(1,1) and PC-Score under two assumed preferences:
+//! (1) recall ≥ 0.75 ∧ precision ≥ 0.6 and (2) recall ≥ 0.5 ∧ precision ≥ 0.9.
+//!
+//! Paper's shape: the PC-Score point lands inside whichever preference box
+//! it is given; the preference-blind metrics pick one fixed point each and
+//! miss at least one box.
+//!
+//! Run: `cargo run --release -p opprentice-bench --bin fig6 [--full]`
+
+use opprentice::cthld::{select_operating_point, CthldMetric, Preference};
+use opprentice_bench::{prepare, write_csv, RunOpts};
+use opprentice_datagen::presets;
+use opprentice_learn::metrics::pr_curve;
+use opprentice_learn::{Classifier, RandomForest};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let run = prepare(&presets::pv(), &opts);
+
+    // Offline protocol: train on the first 8 weeks, test on the rest.
+    let split = 8 * run.ppw;
+    let (train, _) = run.matrix.dataset(run.truth(), 0..split);
+    // A single offline fit is cheap; a larger forest gives the finer score
+    // granularity this figure's curve inspection benefits from.
+    let mut params = opts.forest_params();
+    params.n_trees = params.n_trees.max(150);
+    let mut forest = RandomForest::new(params);
+    forest.fit(&train);
+    let scores: Vec<Option<f64>> = (split..run.matrix.len())
+        .map(|i| run.matrix.usable(i).then(|| forest.score(run.matrix.row(i))))
+        .collect();
+    let curve = pr_curve(&scores, &run.truth().flags()[split..]);
+
+    println!("Figure 6: PR curve of a random forest on PV + cThld selections\n");
+    let pref1 = Preference { recall: 0.75, precision: 0.6 };
+    let pref2 = Preference { recall: 0.5, precision: 0.9 };
+
+    let mut rows: Vec<String> =
+        curve.iter().map(|p| format!("curve,,{:.4},{:.4}", p.recall, p.precision)).collect();
+    let mut show = |name: &str, metric: CthldMetric| {
+        if let Some(p) = select_operating_point(&curve, metric) {
+            println!(
+                "{:<26} cThld={:.3}  recall={:.3} precision={:.3}",
+                name, p.threshold, p.recall, p.precision
+            );
+            rows.push(format!("point,{name},{:.4},{:.4}", p.recall, p.precision));
+            for (pname, pref) in [("pref1", &pref1), ("pref2", &pref2)] {
+                if pref.satisfied_by(p.recall, p.precision) {
+                    println!("{:<26}   -> satisfies {pname} (r>={}, p>={})", "", pref.recall, pref.precision);
+                }
+            }
+        }
+    };
+
+    show("default cThld (0.5)", CthldMetric::Default);
+    show("F-Score", CthldMetric::FScore);
+    show("SD(1,1)", CthldMetric::Sd11);
+    show("PC-Score @ pref1", CthldMetric::PcScore(pref1));
+    show("PC-Score @ pref2", CthldMetric::PcScore(pref2));
+
+    write_csv("fig6.csv", "kind,selector,recall,precision", &rows);
+    println!("\nShape check vs paper: PC-Score adapts its point to each preference box;");
+    println!("default/F-Score/SD(1,1) are preference-blind and each pick one fixed point.");
+}

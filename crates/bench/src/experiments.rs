@@ -1,0 +1,105 @@
+//! Shared experiment computations reused by several table/figure binaries
+//! (Fig. 9 and Table 4 report the same runs from different angles).
+
+use crate::{KpiRun, RunOpts};
+use opprentice::combiners;
+use opprentice::strategy::{EvalPlan, TrainingStrategy};
+use opprentice_learn::metrics::PrPoint;
+use opprentice_learn::{auc_pr, pr_curve};
+
+/// The evaluation protocol of §5.3.1 for one KPI: the random forest under
+/// I1 (incremental retraining), the 133 configurations, and the two static
+/// combiners, all scored on the test span (from the 9th week on).
+pub struct ApproachComparison {
+    /// KPI name.
+    pub kpi_name: String,
+    /// `(approach label, AUCPR, PR curve)` — RF first, then the combiners,
+    /// then every configuration in registry order.
+    pub approaches: Vec<(String, f64, Vec<PrPoint>)>,
+}
+
+impl ApproachComparison {
+    /// Runs the comparison. This trains one forest per test week (the I1
+    /// protocol), so expect minutes, not seconds.
+    pub fn run(run: &KpiRun, opts: &RunOpts) -> Self {
+        let ev = run.evaluator(opts);
+        let test_start = 8 * run.ppw;
+        let n = run.matrix.len();
+
+        // Random forest, I1: concatenate weekly scores over the test span.
+        let outcomes = ev.run(TrainingStrategy::AllHistory, EvalPlan::weekly());
+        let mut rf_scores: Vec<Option<f64>> = vec![None; n];
+        for o in &outcomes {
+            rf_scores[o.points.clone()].clone_from_slice(&o.scores);
+        }
+        let truth_test = &run.truth().flags()[test_start..n];
+        let rf_curve = pr_curve(&rf_scores[test_start..n], truth_test);
+        let rf_auc = auc_pr(&rf_curve);
+
+        let mut approaches = vec![("random forest".to_string(), rf_auc, rf_curve)];
+
+        // Static combiners, scales fit on the initial training span.
+        let norm = combiners::normalization_schema(&run.matrix, 0..test_start, test_start..n);
+        let norm_curve = pr_curve(&norm, truth_test);
+        approaches.push(("normalization schema".to_string(), auc_pr(&norm_curve), norm_curve));
+        let vote = combiners::majority_vote(&run.matrix, 0..test_start, test_start..n);
+        let vote_curve = pr_curve(&vote, truth_test);
+        approaches.push(("majority vote".to_string(), auc_pr(&vote_curve), vote_curve));
+
+        // Every configuration as a standalone basic detector.
+        for c in 0..run.matrix.n_features() {
+            let scores = run.matrix.column_scores(c);
+            let curve = pr_curve(&scores[test_start..n], truth_test);
+            let auc = auc_pr(&curve);
+            approaches.push((run.matrix.feature_labels()[c].clone(), auc, curve));
+        }
+
+        Self { kpi_name: run.kpi.name.clone(), approaches }
+    }
+
+    /// AUCPR ranking, best first: `(rank, label, aucpr)`.
+    pub fn ranking(&self) -> Vec<(usize, &str, f64)> {
+        let mut order: Vec<usize> = (0..self.approaches.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.approaches[b]
+                .1
+                .partial_cmp(&self.approaches[a].1)
+                .expect("finite AUCPR")
+        });
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(rank, i)| (rank + 1, self.approaches[i].0.as_str(), self.approaches[i].1))
+            .collect()
+    }
+
+    /// The rank of an approach by label prefix (1-based).
+    pub fn rank_of(&self, label: &str) -> usize {
+        self.ranking()
+            .iter()
+            .find(|(_, l, _)| l.starts_with(label))
+            .map(|(r, _, _)| *r)
+            .expect("approach present")
+    }
+
+    /// The top `k` *basic-detector* configurations by AUCPR.
+    pub fn top_basic(&self, k: usize) -> Vec<(&str, f64, &[PrPoint])> {
+        let mut basics: Vec<&(String, f64, Vec<PrPoint>)> = self.approaches[3..].iter().collect();
+        basics.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite AUCPR"));
+        basics
+            .into_iter()
+            .take(k)
+            .map(|(l, a, c)| (l.as_str(), *a, c.as_slice()))
+            .collect()
+    }
+
+    /// The named approach's curve.
+    pub fn curve_of(&self, label: &str) -> &[PrPoint] {
+        &self
+            .approaches
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .expect("approach present")
+            .2
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared harness for the table/figure binaries.
+//!
+//! Every binary regenerates one table or figure of the Opprentice paper
+//! (see DESIGN.md §3 for the index and EXPERIMENTS.md for measured-vs-paper
+//! results). They share this setup path:
+//!
+//! 1. generate the three Table-1 KPIs ([`opprentice_datagen::presets`]),
+//! 2. label them with the simulated operator (§4.2) — the operator's noisy
+//!    labels are the ground truth, exactly as in the paper, where accuracy
+//!    is always measured against what operators labeled,
+//! 3. extract the 133 detector features,
+//! 4. hand everything to [`opprentice::evaluate::Evaluator`].
+//!
+//! ## Scale
+//!
+//! By default the two 1-minute KPIs are rescaled to a 5-minute interval
+//! ("fast scale") so every experiment fits a small host; pass `--full` to
+//! any binary for the paper's native scale. The rescaling preserves the
+//! relative comparisons the paper makes (see DESIGN.md §1).
+
+pub mod experiments;
+
+use opprentice::evaluate::Evaluator;
+use opprentice::features::FeatureMatrix;
+use opprentice_datagen::model::{KpiSpec, LabeledKpi};
+use opprentice_datagen::operator::LabelingSession;
+use opprentice_datagen::{presets, SimulatedOperator};
+use opprentice_learn::RandomForestParams;
+use opprentice_timeseries::Labels;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Command-line options shared by all binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// `true` = paper-native scale (1-minute PV/#SR); `false` = 5-minute.
+    pub full: bool,
+}
+
+impl RunOpts {
+    /// Parses `--full` from the process arguments.
+    pub fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--full");
+        Self { full }
+    }
+
+    /// The interval floor applied to minute KPIs.
+    pub fn interval(&self) -> u32 {
+        if self.full {
+            60
+        } else {
+            300
+        }
+    }
+
+    /// Forest size: big enough for fine-grained vote probabilities.
+    pub fn forest_params(&self) -> RandomForestParams {
+        RandomForestParams { n_trees: if self.full { 60 } else { 50 }, seed: 42, ..Default::default() }
+    }
+
+    /// Size-aware forest parameters: small KPIs (like the 60-minute SRT)
+    /// afford — and, for stable cross-week score calibration, need — many
+    /// more trees per retraining round.
+    pub fn forest_params_for(&self, n_points: usize) -> RandomForestParams {
+        let mut p = self.forest_params();
+        if n_points < 10_000 {
+            p.n_trees = 200;
+        }
+        p
+    }
+}
+
+/// A fully prepared KPI experiment: data, operator labels, features.
+pub struct KpiRun {
+    /// The generated KPI (with the injector's exact truth, used only by
+    /// the data-characterization experiments).
+    pub kpi: LabeledKpi,
+    /// The simulated operator's labeling session — `session.labels` is the
+    /// ground truth for all accuracy experiments.
+    pub session: LabelingSession,
+    /// The 133-column feature matrix.
+    pub matrix: FeatureMatrix,
+    /// Points per week at this KPI's interval.
+    pub ppw: usize,
+}
+
+impl KpiRun {
+    /// The operator-labeled ground truth.
+    pub fn truth(&self) -> &Labels {
+        &self.session.labels
+    }
+
+    /// An evaluator over this run with size-aware forest parameters.
+    pub fn evaluator(&self, opts: &RunOpts) -> Evaluator<'_> {
+        let mut ev = Evaluator::new(&self.matrix, self.truth(), self.ppw);
+        ev.forest_params = opts.forest_params_for(self.matrix.len());
+        ev
+    }
+}
+
+/// Generates, labels and featurizes one KPI spec at the chosen scale.
+pub fn prepare(spec: &KpiSpec, opts: &RunOpts) -> KpiRun {
+    let spec = presets::fast(spec, opts.interval());
+    let t0 = Instant::now();
+    let kpi = spec.generate();
+    let session = SimulatedOperator::default().label(&kpi);
+    let matrix = opprentice::extract_features(&kpi.series);
+    let ppw = kpi.series.points_per_week();
+    eprintln!(
+        "[prepare] {}: {} points, {} anomalous ({:.1}%), {} features, {:.1?}",
+        kpi.name,
+        kpi.series.len(),
+        session.labels.anomaly_count(),
+        100.0 * session.labels.anomaly_ratio(),
+        matrix.n_features(),
+        t0.elapsed()
+    );
+    KpiRun { kpi, session, matrix, ppw }
+}
+
+/// The three studied KPIs, prepared in the paper's order.
+pub fn prepare_all(opts: &RunOpts) -> Vec<KpiRun> {
+    presets::all().iter().map(|s| prepare(s, opts)).collect()
+}
+
+/// Writes a CSV file under `results/`, creating the directory as needed.
+/// Returns the path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    eprintln!("[csv] wrote {}", path.display());
+    path
+}
+
+/// Renders a unit-scaled ASCII sparkline of a value series (missing → `·`).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let step = (values.len() as f64 / width as f64).max(1.0);
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    (0..width.min(values.len()))
+        .map(|w| {
+            let v = values[(w as f64 * step) as usize];
+            if !v.is_finite() {
+                '·'
+            } else {
+                BARS[(((v - lo) / span) * 7.0).round() as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        assert_eq!(sparkline(&values, 40).chars().count(), 40);
+    }
+
+    #[test]
+    fn sparkline_marks_missing() {
+        let s = sparkline(&[1.0, f64::NAN, 2.0], 3);
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn opts_interval_mapping() {
+        assert_eq!(RunOpts { full: true }.interval(), 60);
+        assert_eq!(RunOpts { full: false }.interval(), 300);
+    }
+}

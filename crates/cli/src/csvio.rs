@@ -1,0 +1,152 @@
+//! Minimal CSV I/O for labeled KPI data: `timestamp,value,label`.
+//!
+//! The format is deliberately trivial (numeric fields, no quoting) so no
+//! CSV dependency is needed. Empty `value` encodes a missing point.
+
+use opprentice_timeseries::{Labels, TimeSeries};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A loaded KPI: series plus labels.
+#[derive(Debug)]
+pub struct LabeledCsv {
+    /// The series (fixed interval inferred from the first two rows).
+    pub series: TimeSeries,
+    /// Per-point anomaly labels.
+    pub labels: Labels,
+}
+
+/// Reads `timestamp,value,label` rows. A header line is skipped when the
+/// first field does not parse as an integer.
+pub fn read(path: &Path) -> Result<LabeledCsv, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut rows: Vec<(i64, Option<f64>, bool)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let (Some(ts), Some(value), Some(label)) = (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!("line {}: expected 3 comma-separated fields", lineno + 1));
+        };
+        let Ok(ts) = ts.trim().parse::<i64>() else {
+            if lineno == 0 {
+                continue; // header
+            }
+            return Err(format!("line {}: bad timestamp `{ts}`", lineno + 1));
+        };
+        let value = match value.trim() {
+            "" | "nan" | "NaN" => None,
+            v => Some(v.parse::<f64>().map_err(|e| format!("line {}: bad value `{v}`: {e}", lineno + 1))?),
+        };
+        let label = match label.trim() {
+            "0" | "false" => false,
+            "1" | "true" => true,
+            other => return Err(format!("line {}: bad label `{other}` (use 0/1)", lineno + 1)),
+        };
+        rows.push((ts, value, label));
+    }
+    if rows.len() < 2 {
+        return Err("need at least 2 data rows".to_string());
+    }
+    let interval = rows[1].0 - rows[0].0;
+    if interval <= 0 {
+        return Err("timestamps must be strictly increasing".to_string());
+    }
+    let mut series = TimeSeries::new(rows[0].0, interval as u32);
+    let mut labels = Labels::all_normal(0);
+    for (i, (ts, value, label)) in rows.iter().enumerate() {
+        let expected = rows[0].0 + i as i64 * interval;
+        if *ts != expected {
+            return Err(format!(
+                "row {}: timestamp {ts} breaks the fixed interval {interval} (expected {expected})",
+                i + 1
+            ));
+        }
+        match value {
+            Some(v) => series.push(*v),
+            None => series.push_missing(),
+        }
+        labels.push(*label);
+    }
+    Ok(LabeledCsv { series, labels })
+}
+
+/// Writes a labeled KPI in the same format (with header).
+pub fn write(path: &Path, series: &TimeSeries, labels: &Labels) -> Result<(), String> {
+    assert_eq!(series.len(), labels.len(), "series/labels length mismatch");
+    let mut out = String::with_capacity(series.len() * 24);
+    out.push_str("timestamp,value,label\n");
+    for (i, (ts, v)) in series.iter().enumerate() {
+        match v {
+            Some(v) => {
+                let _ = writeln!(out, "{ts},{v},{}", u8::from(labels.is_anomaly(i)));
+            }
+            None => {
+                let _ = writeln!(out, "{ts},,{}", u8::from(labels.is_anomaly(i)));
+            }
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("opprentice_csv_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut series = TimeSeries::new(1000, 60);
+        series.push(1.5);
+        series.push_missing();
+        series.push(3.0);
+        let labels = Labels::from_flags(vec![false, true, false]);
+        let path = tmp("round");
+        write(&path, &series, &labels).unwrap();
+        let loaded = read(&path).unwrap();
+        assert_eq!(loaded.series, series);
+        assert_eq!(loaded.labels, labels);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let path = tmp("header");
+        std::fs::write(&path, "timestamp,value,label\n0,1.0,0\n60,2.0,1\n").unwrap();
+        let loaded = read(&path).unwrap();
+        assert_eq!(loaded.series.len(), 2);
+        assert!(loaded.labels.is_anomaly(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn irregular_interval_rejected() {
+        let path = tmp("irregular");
+        std::fs::write(&path, "0,1.0,0\n60,2.0,0\n180,3.0,0\n").unwrap();
+        let err = read(&path).unwrap_err();
+        assert!(err.contains("fixed interval"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let path = tmp("badlabel");
+        std::fs::write(&path, "0,1.0,0\n60,2.0,maybe\n").unwrap();
+        assert!(read(&path).unwrap_err().contains("bad label"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let path = tmp("short");
+        std::fs::write(&path, "0,1.0,0\n").unwrap();
+        assert!(read(&path).unwrap_err().contains("at least 2"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,268 @@
+//! `opprentice label` — a terminal rendition of the paper's labeling tool
+//! (§4.2, Fig. 4).
+//!
+//! The original is a GUI: "it loads KPI data, and displays them with a line
+//! graph in the top panel … operators can use the arrow keys to navigate
+//! (forward, backward, zoom in and zoom out) through the data … left click
+//! and drag the mouse to label the window of anomalies, or right click and
+//! drag to (partially) cancel previously labeled window." This command maps
+//! those interactions onto a line-oriented terminal session:
+//!
+//! ```text
+//! n / p          move forward / backward one page
+//! + / -          zoom in / out (halve / double the page)
+//! m <from> <to>  mark an anomalous window  (point indices, end exclusive)
+//! u <from> <to>  unmark (right-click-drag cancel)
+//! g <index>      jump to the page containing a point
+//! w              write labels and quit
+//! q              quit without writing
+//! ```
+//!
+//! Labels are windows, exactly as in the paper — which is why labeling is
+//! fast (§5.7). The session also reports the §5.7-style labeling time
+//! estimate when it ends. Reads commands from stdin, so it is scriptable
+//! and testable.
+
+use crate::csvio::{self, LabeledCsv};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One page of the viewer.
+const DEFAULT_PAGE: usize = 288;
+const PLOT_WIDTH: usize = 96;
+
+/// Renders one page: sparkline, label markers and an index ruler.
+fn render(data: &LabeledCsv, start: usize, page: usize) -> String {
+    let end = (start + page).min(data.series.len());
+    let window = &data.series.values()[start..end];
+    let spark = sparkline(window, PLOT_WIDTH.min(window.len()));
+    let cols = spark.chars().count().max(1);
+    let mut marks = vec![' '; cols];
+    for (i, m) in marks.iter_mut().enumerate() {
+        let lo = start + i * window.len() / cols;
+        let hi = start + ((i + 1) * window.len() / cols).max(i * window.len() / cols + 1);
+        if (lo..hi.min(end)).any(|j| data.labels.is_anomaly(j)) {
+            *m = '^';
+        }
+    }
+    format!(
+        "points {start}..{end} of {}  ({} labeled anomalous here)\n  {spark}\n  {}\n",
+        data.series.len(),
+        (start..end).filter(|&i| data.labels.is_anomaly(i)).count(),
+        marks.iter().collect::<String>()
+    )
+}
+
+/// Unit-scaled sparkline (duplicated from the bench crate to keep the CLI
+/// dependency-light; missing points render as `·`).
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let step = values.len() as f64 / width as f64;
+    (0..width)
+        .map(|w| {
+            let v = values[((w as f64 * step) as usize).min(values.len() - 1)];
+            if v.is_finite() {
+                BARS[(((v - lo) / span) * 7.0).round() as usize]
+            } else {
+                '·'
+            }
+        })
+        .collect()
+}
+
+/// The outcome of a labeling session (for reporting and tests).
+#[derive(Debug)]
+#[allow(dead_code)] // `actions`/`seconds` are read by tests and future callers
+pub struct SessionReport {
+    /// Number of label/unlabel actions taken.
+    pub actions: usize,
+    /// Whether the labels were written back.
+    pub written: bool,
+    /// Wall-clock session length in seconds.
+    pub seconds: f64,
+}
+
+/// Runs the labeling loop over `input`, writing output lines to `out`.
+pub fn run_session(
+    data: &mut LabeledCsv,
+    path: &Path,
+    input: &mut dyn BufRead,
+    out: &mut dyn std::io::Write,
+) -> Result<SessionReport, String> {
+    let started = Instant::now();
+    let mut start = 0usize;
+    let mut page = DEFAULT_PAGE.min(data.series.len());
+    let mut actions = 0usize;
+    let mut written = false;
+
+    let w = |out: &mut dyn std::io::Write, s: &str| {
+        out.write_all(s.as_bytes()).map_err(|e| e.to_string())
+    };
+    w(out, &render(data, start, page))?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break; // EOF: quit without writing
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let arg1: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+        let arg2: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+        match cmd {
+            "" => continue,
+            "n" => start = (start + page).min(data.series.len().saturating_sub(1)),
+            "p" => start = start.saturating_sub(page),
+            "+" => page = (page / 2).max(8),
+            "-" => page = (page * 2).min(data.series.len()),
+            "g" => {
+                let Some(i) = arg1 else {
+                    w(out, "usage: g <index>\n")?;
+                    continue;
+                };
+                start = i.min(data.series.len().saturating_sub(1)) / page * page;
+            }
+            "m" | "u" => {
+                let (Some(from), Some(to)) = (arg1, arg2) else {
+                    w(out, &format!("usage: {cmd} <from> <to>\n"))?;
+                    continue;
+                };
+                if from >= to || to > data.series.len() {
+                    w(out, "bad window\n")?;
+                    continue;
+                }
+                for i in from..to {
+                    if cmd == "m" {
+                        data.labels.mark(i);
+                    } else {
+                        data.labels.clear(i);
+                    }
+                }
+                actions += 1;
+            }
+            "w" => {
+                csvio::write(path, &data.series, &data.labels)?;
+                written = true;
+                w(out, &format!("wrote {}\n", path.display()))?;
+                break;
+            }
+            "q" => break,
+            other => w(out, &format!("unknown command `{other}` (n p + - g m u w q)\n"))?,
+        }
+        w(out, &render(data, start, page))?;
+    }
+
+    let seconds = started.elapsed().as_secs_f64();
+    let windows = data.labels.to_windows().len();
+    w(
+        out,
+        &format!(
+            "session: {actions} label action(s), {windows} anomalous window(s), {seconds:.1}s\n"
+        ),
+    )?;
+    Ok(SessionReport { actions, written, seconds })
+}
+
+/// Entry point for `opprentice label --data <file>`.
+pub fn label(opts: &crate::commands::Options) -> Result<(), String> {
+    let path = PathBuf::from(opts.required_opt("data")?);
+    let mut data = csvio::read(&path)?;
+    let stdin = std::io::stdin();
+    let mut locked = stdin.lock();
+    let mut stdout = std::io::stdout();
+    let report = run_session(&mut data, &path, &mut locked, &mut stdout)?;
+    if !report.written {
+        eprintln!("(labels not written — use `w` to save)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_timeseries::Labels;
+    use std::io::Cursor;
+
+    fn sample(n: usize) -> (LabeledCsv, PathBuf) {
+        let path = std::env::temp_dir().join(format!("opprentice_label_{}_{n}.csv", std::process::id()));
+        let series = opprentice_timeseries::TimeSeries::from_values(
+            0,
+            60,
+            (0..n).map(|i| (i % 24) as f64).collect(),
+        );
+        let labels = Labels::all_normal(n);
+        csvio::write(&path, &series, &labels).unwrap();
+        (csvio::read(&path).unwrap(), path)
+    }
+
+    fn run(commands: &str, n: usize) -> (LabeledCsv, SessionReport, String, PathBuf) {
+        let (mut data, path) = sample(n);
+        let mut input = Cursor::new(commands.as_bytes().to_vec());
+        let mut out = Vec::new();
+        let report = run_session(&mut data, &path, &mut input, &mut out).unwrap();
+        (data, report, String::from_utf8(out).unwrap(), path)
+    }
+
+    #[test]
+    fn mark_and_write_round_trips() {
+        let (data, report, _, path) = run("m 10 20\nw\n", 500);
+        assert!(report.written);
+        assert_eq!(report.actions, 1);
+        assert_eq!(data.labels.anomaly_count(), 10);
+        let reloaded = csvio::read(&path).unwrap();
+        assert_eq!(reloaded.labels.anomaly_count(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unmark_cancels_part_of_a_window() {
+        let (data, _, _, path) = run("m 10 20\nu 14 16\nq\n", 500);
+        assert_eq!(data.labels.anomaly_count(), 8);
+        assert_eq!(data.labels.to_windows().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quit_without_write_leaves_file_untouched() {
+        let (_, report, _, path) = run("m 0 5\nq\n", 100);
+        assert!(!report.written);
+        let reloaded = csvio::read(&path).unwrap();
+        assert_eq!(reloaded.labels.anomaly_count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn navigation_and_zoom_render_pages() {
+        let (_, _, output, path) = run("n\np\n+\n-\ng 450\nq\n", 1000);
+        assert!(output.contains("points 0..288"), "{output}");
+        assert!(output.contains("points 288.."), "{output}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_input_is_reported_not_fatal() {
+        let (_, report, output, path) = run("m 20 10\nx\nm 5\nq\n", 100);
+        assert_eq!(report.actions, 0);
+        assert!(output.contains("bad window"));
+        assert!(output.contains("unknown command"));
+        assert!(output.contains("usage: m"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eof_acts_as_quit() {
+        let (_, report, _, path) = run("m 0 3\n", 50);
+        assert!(!report.written);
+        assert_eq!(report.actions, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

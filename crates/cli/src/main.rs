@@ -1,0 +1,86 @@
+//! `opprentice` — command-line interface to the Opprentice framework.
+//!
+//! ```text
+//! opprentice generate --kpi pv --weeks 12 --interval 300 --out kpi.csv
+//! opprentice detect   --data kpi.csv --train-weeks 8 [--recall 0.66 --precision 0.66]
+//! opprentice evaluate --data kpi.csv [--trees 50]
+//! opprentice rank     --data kpi.csv
+//! ```
+//!
+//! CSV format: `timestamp,value,label` — epoch seconds, a float (empty for a
+//! missing point), and 0/1 (the operator's anomaly label). `generate` writes
+//! this format; the other commands read it.
+
+mod commands;
+mod csvio;
+mod label;
+mod replay;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "opprentice — operators' apprentice for KPI anomaly detection
+
+USAGE:
+    opprentice <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate   synthesize a labeled KPI calibrated to the paper's presets
+    detect     train on the first weeks, report alerts on the rest
+    evaluate   walk-forward evaluation (weekly retraining, AUCPR per week)
+    rank       rank the 14 basic detectors on the data (AUCPR)
+    label      interactive window labeling in the terminal (the §4.2 tool)
+    replay     stream a CSV through a running opprentice-serve instance
+
+OPTIONS (generate):
+    --kpi <pv|sr|srt>     preset to synthesize           [default: pv]
+    --weeks <N>           length in weeks                [default: preset]
+    --interval <SECONDS>  sampling interval              [default: preset]
+    --seed <N>            generator seed                 [default: preset]
+    --out <FILE>          output CSV path                [required]
+
+OPTIONS (detect / evaluate / rank):
+    --data <FILE>         input CSV (timestamp,value,label)  [required]
+    --train-weeks <N>     training prefix in weeks           [default: 8]
+    --trees <N>           random-forest size                 [default: 50]
+    --recall <R>          accuracy preference: recall floor  [default: 0.66]
+    --precision <P>       accuracy preference: precision flr [default: 0.66]
+    --min-duration <N>    alert duration filter, in points   [default: 1]
+"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match commands::Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&opts),
+        "detect" => commands::detect(&opts),
+        "evaluate" => commands::evaluate(&opts),
+        "rank" => commands::rank(&opts),
+        "label" => label::label(&opts),
+        "replay" => replay::replay(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! `opprentice replay` — stream a labeled CSV through a running
+//! `opprentice-serve` instance, simulating deployment: points flow in
+//! real-time order, the operator labels in weekly batches, and the server
+//! retrains after each batch (§4.1's loop, but over the wire).
+//!
+//! ```text
+//! opprentice replay --data kpi.csv --addr 127.0.0.1:4755 [--train-weeks 8]
+//! ```
+
+use crate::commands::Options;
+use crate::csvio;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// A tiny line-protocol client for the server.
+pub struct ProtocolClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ProtocolClient {
+    /// Connects to an `opprentice-serve` endpoint.
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request line, returns the response line.
+    pub fn send(&mut self, line: &str) -> Result<String, String> {
+        self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        self.writer.write_all(b"\n").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        if self.reader.read_line(&mut out).map_err(|e| e.to_string())? == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    /// Sends and fails unless the reply starts with `OK`.
+    pub fn expect_ok(&mut self, line: &str) -> Result<String, String> {
+        let reply = self.send(line)?;
+        if reply.starts_with("OK") {
+            Ok(reply)
+        } else {
+            Err(format!("`{line}` -> {reply}"))
+        }
+    }
+}
+
+/// Runs the replay.
+pub fn replay(opts: &Options) -> Result<(), String> {
+    let data = csvio::read(&PathBuf::from(opts.required_opt("data")?))?;
+    let addr = opts.required_opt("addr")?;
+    let train_weeks: usize = opts.num_opt("train-weeks", 8)?;
+
+    let ppw = data.series.points_per_week();
+    let n = data.series.len();
+    let bootstrap = (train_weeks * ppw).min(n);
+
+    let mut client = ProtocolClient::connect(addr)?;
+    client.expect_ok(&format!("HELLO {}", data.series.interval()))?;
+
+    let fmt_value = |i: usize| match data.series.get(i) {
+        Some(v) => format!("{v}"),
+        None => "nan".to_string(),
+    };
+    let flags_of = |range: std::ops::Range<usize>| -> String {
+        range.map(|i| if data.labels.is_anomaly(i) { '1' } else { '0' }).collect()
+    };
+
+    // Bootstrap: stream the labeled history, label it, train.
+    for i in 0..bootstrap {
+        client.expect_ok(&format!("OBS {} {}", data.series.timestamp_at(i), fmt_value(i)))?;
+    }
+    client.expect_ok(&format!("LABEL {}", flags_of(0..bootstrap)))?;
+    let trained = client.expect_ok("RETRAIN")?;
+    println!("bootstrapped on {train_weeks} weeks: {trained}");
+
+    // Live weeks: detect, then label + retrain at each week boundary.
+    let mut alerts = 0usize;
+    let mut hits = 0usize;
+    let mut week_start = bootstrap;
+    for i in bootstrap..n {
+        let reply =
+            client.expect_ok(&format!("OBS {} {}", data.series.timestamp_at(i), fmt_value(i)))?;
+        if reply.contains("anomaly=1") {
+            alerts += 1;
+            if data.labels.is_anomaly(i) {
+                hits += 1;
+            }
+        }
+        let week_done = (i + 1 - bootstrap) % ppw == 0 || i + 1 == n;
+        if week_done && i + 1 > week_start {
+            client.expect_ok(&format!("LABEL {}", flags_of(week_start..i + 1)))?;
+            let reply = client.send("RETRAIN")?;
+            println!(
+                "week boundary at point {}: {} ({} alerts so far, {} correct)",
+                i + 1,
+                reply,
+                alerts,
+                hits
+            );
+            week_start = i + 1;
+        }
+    }
+    let _ = client.send("QUIT");
+    let precision = if alerts == 0 { 1.0 } else { hits as f64 / alerts as f64 };
+    println!("replay finished: {alerts} alerts, live precision {precision:.2}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_server::Server;
+
+    #[test]
+    fn replay_against_in_process_server() {
+        // Build a small labeled KPI file.
+        let dir = std::env::temp_dir().join(format!("opprentice_replay_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("kpi.csv");
+        let n = 24 * 7 * 5; // 5 hourly weeks
+        let mut body = String::from("timestamp,value,label\n");
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            let v = if anomalous { base + 150.0 } else { base };
+            body.push_str(&format!("{},{v},{}\n", i * 3600, u8::from(anomalous)));
+        }
+        std::fs::write(&csv, body).unwrap();
+
+        // In-process server on an ephemeral port.
+        let mut server = Server::bind("127.0.0.1:0").unwrap();
+        server.n_trees = 8;
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve().unwrap());
+
+        let opts = Options::parse(&[
+            "--data".into(),
+            csv.to_str().unwrap().into(),
+            "--addr".into(),
+            handle.addr().to_string(),
+            "--train-weeks".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        replay(&opts).unwrap();
+
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_refuses_unreachable_server() {
+        let opts = Options::parse(&[
+            "--data".into(),
+            "/nonexistent.csv".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+        ])
+        .unwrap();
+        assert!(replay(&opts).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Detectors as feature extractors (§4.3).
+//!
+//! Every detector configuration is run over the KPI in parallel; each emits
+//! one severity per point, forming the feature matrix ("the anomaly
+//! severities measured by different detectors can naturally serve as the
+//! features", §1). Warm-up and missing-value slots hold 0 in the matrix —
+//! "no anomaly evidence" — and points whose *value* is missing are flagged
+//! unusable so training and evaluation skip them entirely (§4.3.2).
+
+use opprentice_detectors::registry::ConfiguredDetector;
+use opprentice_detectors::registry;
+use opprentice_learn::Dataset;
+use opprentice_timeseries::{Labels, TimeSeries};
+
+/// The per-point severities of every detector configuration.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    n_features: usize,
+    /// Row-major severities; 0.0 where a detector had no verdict.
+    data: Vec<f64>,
+    /// Whether the point's value was present (usable for train/test).
+    usable: Vec<bool>,
+    /// Configuration labels, by column.
+    feature_labels: Vec<String>,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix for incremental (online) extraction.
+    pub fn new(feature_labels: Vec<String>) -> Self {
+        assert!(!feature_labels.is_empty(), "need at least one feature");
+        Self { n_features: feature_labels.len(), data: Vec::new(), usable: Vec::new(), feature_labels }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.usable.len()
+    }
+
+    /// `true` when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.usable.is_empty()
+    }
+
+    /// Number of feature columns (133 for the full registry).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The severity row of point `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Whether point `i` is usable (its value was present).
+    pub fn usable(&self, i: usize) -> bool {
+        self.usable[i]
+    }
+
+    /// Configuration labels by column.
+    pub fn feature_labels(&self) -> &[String] {
+        &self.feature_labels
+    }
+
+    /// Appends one point's severities (`None` → 0.0).
+    pub fn push_row(&mut self, severities: &[Option<f64>], usable: bool) {
+        assert_eq!(severities.len(), self.n_features, "feature count mismatch");
+        self.data.extend(severities.iter().map(|s| s.unwrap_or(0.0)));
+        self.usable.push(usable);
+    }
+
+    /// Severity column `c` as optional values (`None` where the detector had
+    /// no verdict *or* the point is unusable) — the per-configuration score
+    /// stream used to evaluate basic detectors and static combiners.
+    pub fn column_scores(&self, c: usize) -> Vec<Option<f64>> {
+        (0..self.len())
+            .map(|i| {
+                if !self.usable[i] {
+                    return None;
+                }
+                let v = self.row(i)[c];
+                // 0.0 encodes "no verdict"; report it as a zero severity —
+                // detectors emit genuine zeros too, and both mean "nothing
+                // anomalous here" for scoring purposes.
+                Some(v)
+            })
+            .collect()
+    }
+
+    /// Builds a training [`Dataset`] from the usable points of `range`,
+    /// returning the dataset and the original point index of each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is shorter than `range.end`.
+    pub fn dataset(&self, labels: &Labels, range: std::ops::Range<usize>) -> (Dataset, Vec<usize>) {
+        assert!(labels.len() >= range.end, "labels do not cover the range");
+        let mut ds = Dataset::new(self.n_features);
+        let mut origin = Vec::new();
+        for i in range {
+            if self.usable[i] {
+                ds.push(self.row(i), labels.is_anomaly(i));
+                origin.push(i);
+            }
+        }
+        (ds, origin)
+    }
+}
+
+impl FeatureMatrix {
+    /// Per-feature scale factors: a high quantile of each configuration's
+    /// severities over this matrix's points. Dividing severities by these
+    /// makes features comparable across KPIs of different magnitudes — the
+    /// normalization §6 prescribes for "detection across the same types of
+    /// KPIs" (see the `cross_kpi_transfer` example).
+    pub fn feature_scales(&self, quantile: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
+        (0..self.n_features)
+            .map(|c| {
+                let mut xs: Vec<f64> = (0..self.len())
+                    .filter(|&i| self.usable[i])
+                    .map(|i| self.row(i)[c])
+                    .collect();
+                if xs.is_empty() {
+                    return 1.0;
+                }
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite severities"));
+                let idx = ((xs.len() - 1) as f64 * quantile) as usize;
+                let q = xs[idx];
+                if q > 0.0 {
+                    q
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// A copy of this matrix with every column divided by the given scale —
+    /// pair with [`FeatureMatrix::feature_scales`] from either the same or
+    /// a sibling KPI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != n_features` or a scale is not positive.
+    pub fn scaled_by(&self, scales: &[f64]) -> FeatureMatrix {
+        assert_eq!(scales.len(), self.n_features, "scale count mismatch");
+        assert!(scales.iter().all(|s| *s > 0.0), "scales must be positive");
+        let mut out = self.clone();
+        for (i, v) in out.data.iter_mut().enumerate() {
+            *v /= scales[i % self.n_features];
+        }
+        out
+    }
+}
+
+/// Runs every given configuration over the whole series, in parallel across
+/// configurations, and assembles the feature matrix.
+pub fn extract_with(mut configs: Vec<ConfiguredDetector>, series: &TimeSeries) -> FeatureMatrix {
+    let labels: Vec<String> = configs.iter().map(ConfiguredDetector::label).collect();
+    let n = series.len();
+    let m = configs.len();
+
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(m.max(1));
+    let chunk = m.div_ceil(threads.max(1)).max(1);
+
+    let mut columns: Vec<(usize, Vec<Option<f64>>)> = Vec::with_capacity(m);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest: &mut [ConfiguredDetector] = &mut configs;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (batch, tail) = rest.split_at_mut(take);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(batch.len());
+                for cfg in batch {
+                    let col: Vec<Option<f64>> = series
+                        .iter()
+                        .map(|(ts, v)| {
+                            opprentice_detectors::clamp_severity(cfg.detector.observe(ts, v))
+                        })
+                        .collect();
+                    out.push((cfg.index, col));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            columns.extend(h.join().expect("extraction thread panicked"));
+        }
+    });
+    columns.sort_by_key(|(i, _)| *i);
+
+    let mut matrix = FeatureMatrix::new(labels);
+    matrix.data = vec![0.0; n * m];
+    matrix.usable = (0..n).map(|i| !series.is_missing(i)).collect();
+    for (c, col) in columns {
+        for (i, s) in col.into_iter().enumerate() {
+            if let Some(s) = s {
+                matrix.data[i * m + c] = s;
+            }
+        }
+    }
+    matrix
+}
+
+/// Runs the full Table 3 registry (133 configurations) over the series.
+pub fn extract_features(series: &TimeSeries) -> FeatureMatrix {
+    extract_with(registry(series.interval()), series)
+}
+
+/// An online, stateful feature extractor: feed one point, get one row.
+/// This is the deployment path (the offline [`extract_features`] is the
+/// evaluation path; both produce identical severities).
+pub struct OnlineExtractor {
+    detectors: Vec<ConfiguredDetector>,
+    row: Vec<Option<f64>>,
+}
+
+impl OnlineExtractor {
+    /// Creates the extractor with the full registry for `interval`.
+    pub fn new(interval: u32) -> Self {
+        let detectors = registry(interval);
+        let m = detectors.len();
+        Self { detectors, row: vec![None; m] }
+    }
+
+    /// Configuration labels, by column.
+    pub fn labels(&self) -> Vec<String> {
+        self.detectors.iter().map(ConfiguredDetector::label).collect()
+    }
+
+    /// Feeds the next point to every detector, returning the severity row.
+    pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> &[Option<f64>] {
+        for (cfg, slot) in self.detectors.iter_mut().zip(&mut self.row) {
+            *slot = opprentice_detectors::clamp_severity(cfg.detector.observe(timestamp, value));
+        }
+        &self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_series(n: usize) -> TimeSeries {
+        let vals: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == 170 {
+                    f64::NAN
+                } else {
+                    100.0 + 10.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()
+                }
+            })
+            .collect();
+        TimeSeries::from_values(0, 3600, vals)
+    }
+
+    #[test]
+    fn matrix_shape_matches_series_and_registry() {
+        let s = toy_series(24 * 9);
+        let m = extract_features(&s);
+        assert_eq!(m.len(), s.len());
+        assert_eq!(m.n_features(), 133);
+        assert_eq!(m.feature_labels().len(), 133);
+    }
+
+    #[test]
+    fn missing_points_are_unusable() {
+        let s = toy_series(200);
+        let m = extract_features(&s);
+        assert!(!m.usable(170));
+        assert!(m.usable(0));
+    }
+
+    #[test]
+    fn severities_are_finite_and_nonnegative() {
+        let s = toy_series(24 * 9);
+        let m = extract_features(&s);
+        for i in 0..m.len() {
+            for &v in m.row(i) {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_skips_unusable_points() {
+        let s = toy_series(200);
+        let m = extract_features(&s);
+        let labels = Labels::all_normal(s.len());
+        let (ds, origin) = m.dataset(&labels, 150..200);
+        assert_eq!(ds.len(), 49); // 50 minus the missing point at 170
+        assert!(!origin.contains(&170));
+        assert_eq!(origin.len(), ds.len());
+    }
+
+    #[test]
+    fn online_extractor_matches_offline_extraction() {
+        let s = toy_series(24 * 8);
+        let offline = extract_features(&s);
+        let mut online = OnlineExtractor::new(s.interval());
+        for (i, (ts, v)) in s.iter().enumerate() {
+            let row = online.observe(ts, v);
+            let expected = offline.row(i);
+            for (c, r) in row.iter().enumerate() {
+                assert_eq!(r.unwrap_or(0.0), expected[c], "point {i} feature {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_scales_and_scaling() {
+        let s = toy_series(200);
+        let m = extract_features(&s);
+        let scales = m.feature_scales(0.99);
+        assert_eq!(scales.len(), 133);
+        assert!(scales.iter().all(|&x| x > 0.0));
+        let scaled = m.scaled_by(&scales);
+        // After scaling by the q99, almost all severities sit in [0, ~1].
+        let mut over = 0usize;
+        let mut total = 0usize;
+        for i in 0..scaled.len() {
+            for &v in scaled.row(i) {
+                total += 1;
+                if v > 1.0 + 1e-9 {
+                    over += 1;
+                }
+            }
+        }
+        assert!((over as f64) < 0.03 * total as f64, "{over}/{total} above 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale count mismatch")]
+    fn scaled_by_checks_length() {
+        let s = toy_series(50);
+        let m = extract_features(&s);
+        let _ = m.scaled_by(&[1.0]);
+    }
+
+    #[test]
+    fn column_scores_align_with_rows() {
+        let s = toy_series(100);
+        let m = extract_features(&s);
+        let col = m.column_scores(0); // simple threshold: severity = value
+        assert_eq!(col.len(), 100);
+        for (i, c) in col.iter().enumerate() {
+            if m.usable(i) {
+                assert_eq!(c.unwrap(), m.row(i)[0]);
+            } else {
+                assert!(c.is_none());
+            }
+        }
+    }
+}

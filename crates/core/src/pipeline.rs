@@ -1,0 +1,306 @@
+//! The deployable Opprentice pipeline (Fig. 3): ingest labeled history,
+//! retrain periodically, detect incoming points online.
+//!
+//! From the operators' view there are exactly two interactions (§4.1):
+//! specify an accuracy preference once, and label anomalies periodically.
+//! Everything else — feature extraction by the 133 detector configurations,
+//! random-forest training, cThld selection and prediction — happens inside
+//! this type.
+
+use crate::cthld::{best_cthld, Preference};
+use crate::features::{FeatureMatrix, OnlineExtractor};
+use crate::predictor::{five_fold_cthld, EwmaCthldPredictor};
+use opprentice_learn::metrics::pr_curve;
+use opprentice_learn::{Classifier, RandomForest, RandomForestParams};
+use opprentice_timeseries::{Labels, TimeSeries};
+
+/// Configuration of an [`Opprentice`] instance.
+#[derive(Debug, Clone)]
+pub struct OpprenticeConfig {
+    /// The operators' accuracy preference ("recall ≥ R and precision ≥ P").
+    pub preference: Preference,
+    /// Random-forest hyperparameters.
+    pub forest: RandomForestParams,
+    /// Smoothing constant of the EWMA cThld predictor (0.8 in the paper).
+    pub cthld_alpha: f64,
+    /// cThld used before any prediction exists (the forest default, 0.5).
+    pub fallback_cthld: f64,
+}
+
+impl Default for OpprenticeConfig {
+    fn default() -> Self {
+        Self {
+            preference: Preference::moderate(),
+            forest: RandomForestParams::default(),
+            cthld_alpha: 0.8,
+            fallback_cthld: 0.5,
+        }
+    }
+}
+
+/// The verdict for one incoming point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Anomaly probability from the random forest (vote fraction).
+    pub probability: f64,
+    /// The cThld in effect when the point was classified.
+    pub cthld: f64,
+    /// `probability >= cthld`.
+    pub is_anomaly: bool,
+}
+
+/// The operators' apprentice: the end-to-end anomaly detection pipeline.
+pub struct Opprentice {
+    config: OpprenticeConfig,
+    interval: u32,
+    extractor: OnlineExtractor,
+    matrix: FeatureMatrix,
+    truth: Labels,
+    forest: Option<RandomForest>,
+    predictor: EwmaCthldPredictor,
+}
+
+impl Opprentice {
+    /// Creates a fresh pipeline for a KPI sampled every `interval` seconds.
+    pub fn new(interval: u32, config: OpprenticeConfig) -> Self {
+        let extractor = OnlineExtractor::new(interval);
+        let matrix = FeatureMatrix::new(extractor.labels());
+        let predictor = EwmaCthldPredictor::new(config.cthld_alpha);
+        Self { config, interval, extractor, matrix, truth: Labels::all_normal(0), forest: None, predictor }
+    }
+
+    /// Number of points observed so far.
+    pub fn observed_len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of points with operator labels so far.
+    pub fn labeled_len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// The cThld currently in effect.
+    pub fn current_cthld(&self) -> f64 {
+        self.predictor.predict().unwrap_or(self.config.fallback_cthld)
+    }
+
+    /// `true` once a classifier has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.forest.is_some()
+    }
+
+    /// Replays an already-labeled historical series through the detectors —
+    /// the initial setup step ("operators … label anomalies in the
+    /// historical data at the beginning", §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after points have been observed, if the series
+    /// interval differs, or if labels and series lengths differ.
+    pub fn ingest_history(&mut self, series: &TimeSeries, labels: &Labels) {
+        assert!(self.matrix.is_empty(), "history must be ingested first");
+        assert_eq!(series.interval(), self.interval, "interval mismatch");
+        assert_eq!(series.len(), labels.len(), "labels/series length mismatch");
+        for (ts, v) in series {
+            let row = self.extractor.observe(ts, v).to_vec();
+            self.matrix.push_row(&row, v.is_some());
+        }
+        self.truth = labels.clone();
+    }
+
+    /// Feeds one incoming point; returns the verdict (or `None` when no
+    /// classifier is trained yet or the point is missing).
+    pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> Option<Detection> {
+        let row = self.extractor.observe(timestamp, value).to_vec();
+        self.matrix.push_row(&row, value.is_some());
+        value?;
+        let forest = self.forest.as_ref()?;
+        let features: Vec<f64> = row.iter().map(|s| s.unwrap_or(0.0)).collect();
+        let probability = forest.predict_proba(&features);
+        let cthld = self.current_cthld();
+        Some(Detection { probability, cthld, is_anomaly: probability >= cthld })
+    }
+
+    /// Appends operator labels for the oldest `labels.len()` unlabeled
+    /// points — the periodic (e.g. weekly) labeling session. "All the data
+    /// are labeled only once" (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more labels arrive than there are unlabeled points.
+    pub fn ingest_labels(&mut self, labels: &Labels) {
+        assert!(
+            self.truth.len() + labels.len() <= self.matrix.len(),
+            "labels beyond observed data"
+        );
+        for i in 0..labels.len() {
+            self.truth.push(labels.is_anomaly(i));
+        }
+    }
+
+    /// Incrementally retrains the classifier on all labeled data and
+    /// refreshes the cThld prediction (§4.5.2):
+    ///
+    /// 1. the previous classifier (if any) is scored on the latest labeled
+    ///    week to find that week's *best* cThld, which updates the EWMA
+    ///    prediction;
+    /// 2. a new forest is trained on every labeled, usable point;
+    /// 3. on the very first training round, the prediction is initialized
+    ///    by 5-fold cross-validation.
+    ///
+    /// Returns `false` when there is not yet enough labeled data (no
+    /// anomalous sample at all).
+    pub fn retrain(&mut self) -> bool {
+        let labeled = self.truth.len();
+        let ppw = (7 * 86_400 / i64::from(self.interval)) as usize;
+
+        // Step 1: harvest the best cThld of the latest labeled week.
+        if let Some(old) = &self.forest {
+            let week_start = labeled.saturating_sub(ppw);
+            let scores: Vec<Option<f64>> = (week_start..labeled)
+                .map(|i| {
+                    self.matrix.usable(i).then(|| old.score(self.matrix.row(i)))
+                })
+                .collect();
+            let flags = &self.truth.flags()[week_start..labeled];
+            let curve = pr_curve(&scores, flags);
+            if let Some(best) = best_cthld(&curve, &self.config.preference) {
+                self.predictor.update(best);
+            }
+        }
+
+        // Step 2: retrain on everything labeled.
+        let (ds, _) = self.matrix.dataset(&self.truth, 0..labeled);
+        if ds.is_empty() || ds.positives() == 0 {
+            return false;
+        }
+        let mut forest = RandomForest::new(self.config.forest.clone());
+        forest.fit(&ds);
+
+        // Step 3: initialize the prediction on the first round.
+        if self.predictor.predict().is_none() {
+            let c = five_fold_cthld(&ds, &self.config.preference, &self.config.forest);
+            self.predictor.initialize(c);
+        }
+        self.forest = Some(forest);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INTERVAL: u32 = 3600;
+
+    /// Builds an hourly KPI with a daily pattern and labeled spikes.
+    fn labeled_history(days: usize) -> (TimeSeries, Labels) {
+        let n = days * 24;
+        let mut series = TimeSeries::new(0, INTERVAL);
+        let mut labels = Labels::all_normal(0);
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            // A 2-point spike every ~2.6 days.
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            series.push(if anomalous { base + 120.0 } else { base });
+            labels.push(anomalous);
+        }
+        (series, labels)
+    }
+
+    fn small_config() -> OpprenticeConfig {
+        OpprenticeConfig {
+            forest: RandomForestParams { n_trees: 12, seed: 5, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn untrained_pipeline_returns_no_verdicts() {
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        assert_eq!(opp.observe(0, Some(100.0)), None);
+        assert!(!opp.is_trained());
+    }
+
+    #[test]
+    fn trains_on_history_and_flags_spikes() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels);
+        assert!(opp.retrain());
+        assert!(opp.is_trained());
+
+        let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
+        // A normal point scores low…
+        let normal = opp.observe(t0, Some(100.0)).unwrap();
+        // …and a huge spike scores high.
+        let spike = opp.observe(t0 + i64::from(INTERVAL), Some(400.0)).unwrap();
+        assert!(spike.probability > normal.probability, "{spike:?} vs {normal:?}");
+        assert!(spike.is_anomaly);
+    }
+
+    #[test]
+    fn missing_points_get_no_verdict_but_are_recorded() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels);
+        opp.retrain();
+        let before = opp.observed_len();
+        assert_eq!(opp.observe(0, None), None);
+        assert_eq!(opp.observed_len(), before + 1);
+    }
+
+    #[test]
+    fn weekly_label_and_retrain_cycle() {
+        let (series, labels) = labeled_history(21);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels);
+        assert!(opp.retrain());
+
+        // A new week arrives unlabeled.
+        let (new_week, new_labels) = labeled_history(28);
+        let start = series.len();
+        for i in start..new_week.len() {
+            let _ = opp.observe(new_week.timestamp_at(i), new_week.get(i));
+        }
+        assert_eq!(opp.observed_len(), new_week.len());
+        assert_eq!(opp.labeled_len(), start);
+
+        // The operator labels it; retraining folds it in.
+        opp.ingest_labels(&new_labels.slice(start..new_week.len()));
+        assert_eq!(opp.labeled_len(), new_week.len());
+        assert!(opp.retrain());
+        // cThld prediction exists and is in range.
+        let c = opp.current_cthld();
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn retrain_without_positive_labels_reports_failure() {
+        let mut series = TimeSeries::new(0, INTERVAL);
+        for i in 0..200 {
+            series.push(100.0 + (i % 24) as f64);
+        }
+        let labels = Labels::all_normal(200);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels);
+        assert!(!opp.retrain());
+        assert!(!opp.is_trained());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels beyond observed data")]
+    fn over_labeling_rejected() {
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_labels(&Labels::all_normal(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval mismatch")]
+    fn interval_mismatch_rejected() {
+        let series = TimeSeries::from_values(0, 60, vec![1.0; 10]);
+        let labels = Labels::all_normal(10);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels);
+    }
+}

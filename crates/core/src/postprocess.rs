@@ -1,0 +1,218 @@
+//! Post-processing of point-level verdicts (§6 "Anomaly duration").
+//!
+//! The paper deliberately detects at point granularity and notes: "it is
+//! relatively easy to implement a duration filter based upon the point-level
+//! anomalies we detected. For example, if operators are only interested in
+//! continuous anomalies that last for more than 5 minutes, one can solve it
+//! through a simple threshold filter." This module provides that filter,
+//! plus the aggregation of point verdicts into operator-facing alerts.
+
+use opprentice_timeseries::AnomalyWindow;
+
+/// Suppresses anomaly runs shorter than a minimum duration.
+///
+/// Feed point verdicts in time order; the filter delays its output by up to
+/// `min_points − 1` points (it cannot know a run's length until the run
+/// either reaches the minimum or ends). [`DurationFilter::observe`] returns
+/// the verdicts that became final with this point, oldest first.
+#[derive(Debug, Clone)]
+pub struct DurationFilter {
+    min_points: usize,
+    /// Length of the currently pending anomaly run.
+    pending: usize,
+}
+
+impl DurationFilter {
+    /// Creates a filter passing only runs of at least `min_points`
+    /// consecutive anomalous points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_points == 0`.
+    pub fn new(min_points: usize) -> Self {
+        assert!(min_points > 0, "min_points must be positive");
+        Self { min_points, pending: 0 }
+    }
+
+    /// Feeds one point verdict; returns the finalized verdicts released by
+    /// this point (possibly empty while a short run is still pending).
+    pub fn observe(&mut self, anomalous: bool) -> Vec<bool> {
+        if anomalous {
+            self.pending += 1;
+            if self.pending == self.min_points {
+                // The run just qualified: release it all.
+                return vec![true; self.min_points];
+            }
+            if self.pending > self.min_points {
+                return vec![true];
+            }
+            Vec::new() // still pending
+        } else {
+            let mut out = Vec::new();
+            if self.pending > 0 && self.pending < self.min_points {
+                // The run ended too short: suppress it.
+                out.extend(std::iter::repeat_n(false, self.pending));
+            }
+            self.pending = 0;
+            out.push(false);
+            out
+        }
+    }
+
+    /// Flushes any pending (short, therefore suppressed) run at end of
+    /// stream.
+    pub fn finish(&mut self) -> Vec<bool> {
+        let out = if self.pending > 0 && self.pending < self.min_points {
+            vec![false; self.pending]
+        } else {
+            Vec::new()
+        };
+        self.pending = 0;
+        out
+    }
+
+    /// Applies the filter to a whole verdict sequence at once.
+    pub fn apply(min_points: usize, verdicts: &[bool]) -> Vec<bool> {
+        let mut f = DurationFilter::new(min_points);
+        let mut out = Vec::with_capacity(verdicts.len());
+        for &v in verdicts {
+            out.extend(f.observe(v));
+        }
+        out.extend(f.finish());
+        out
+    }
+}
+
+/// One operator-facing alert: a maximal run of anomalous points with its
+/// peak anomaly probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The anomalous window, in point indices.
+    pub window: AnomalyWindow,
+    /// Highest anomaly probability inside the window.
+    pub peak_probability: f64,
+}
+
+/// Groups point verdicts (with their probabilities) into alerts — what a
+/// paging system would actually send. Points without a verdict
+/// (`None`, e.g. warm-up) break runs.
+pub fn group_alerts(probabilities: &[Option<f64>], cthld: f64) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let mut peak = 0.0f64;
+    for (i, p) in probabilities.iter().enumerate() {
+        let anomalous = p.is_some_and(|p| p >= cthld);
+        match (anomalous, run_start) {
+            (true, None) => {
+                run_start = Some(i);
+                peak = p.expect("anomalous implies Some");
+            }
+            (true, Some(_)) => peak = peak.max(p.expect("anomalous implies Some")),
+            (false, Some(s)) => {
+                alerts.push(Alert { window: AnomalyWindow::new(s, i), peak_probability: peak });
+                run_start = None;
+            }
+            (false, None) => {}
+        }
+    }
+    if let Some(s) = run_start {
+        alerts.push(Alert {
+            window: AnomalyWindow::new(s, probabilities.len()),
+            peak_probability: peak,
+        });
+    }
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_runs_are_suppressed() {
+        let input = [false, true, true, false, false];
+        let out = DurationFilter::apply(3, &input);
+        assert_eq!(out, vec![false; 5]);
+    }
+
+    #[test]
+    fn long_runs_pass_through() {
+        let input = [false, true, true, true, false];
+        let out = DurationFilter::apply(3, &input);
+        assert_eq!(out, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn exact_minimum_passes() {
+        let out = DurationFilter::apply(2, &[true, true]);
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn trailing_short_run_is_suppressed_at_finish() {
+        let out = DurationFilter::apply(3, &[false, true, true]);
+        assert_eq!(out, vec![false, false, false]);
+    }
+
+    #[test]
+    fn min_one_is_identity() {
+        let input = [true, false, true, true, false];
+        assert_eq!(DurationFilter::apply(1, &input), input.to_vec());
+    }
+
+    #[test]
+    fn output_length_always_matches_input_length() {
+        for pattern in 0u32..64 {
+            let input: Vec<bool> = (0..6).map(|b| pattern & (1 << b) != 0).collect();
+            for min in 1..=4 {
+                assert_eq!(DurationFilter::apply(min, &input).len(), 6, "pattern {pattern} min {min}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let input = [true, true, false, true, true, true, false, true];
+        let batch = DurationFilter::apply(2, &input);
+        let mut f = DurationFilter::new(2);
+        let mut streamed = Vec::new();
+        for &v in &input {
+            streamed.extend(f.observe(v));
+        }
+        streamed.extend(f.finish());
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn group_alerts_builds_windows_with_peaks() {
+        let probs = vec![
+            Some(0.1),
+            Some(0.8),
+            Some(0.9),
+            Some(0.2),
+            None,
+            Some(0.7),
+        ];
+        let alerts = group_alerts(&probs, 0.6);
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].window, AnomalyWindow::new(1, 3));
+        assert_eq!(alerts[0].peak_probability, 0.9);
+        assert_eq!(alerts[1].window, AnomalyWindow::new(5, 6));
+        assert_eq!(alerts[1].peak_probability, 0.7);
+    }
+
+    #[test]
+    fn group_alerts_handles_trailing_run_and_empty_input() {
+        assert!(group_alerts(&[], 0.5).is_empty());
+        let alerts = group_alerts(&[Some(0.9), Some(0.95)], 0.5);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].window, AnomalyWindow::new(0, 2));
+    }
+
+    #[test]
+    fn warm_up_points_break_runs() {
+        let probs = vec![Some(0.9), None, Some(0.9)];
+        let alerts = group_alerts(&probs, 0.5);
+        assert_eq!(alerts.len(), 2);
+    }
+}

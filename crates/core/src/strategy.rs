@@ -1,0 +1,138 @@
+//! Training-set strategies (Table 2).
+//!
+//! | ID | Training set | Test set |
+//! |----|--------------|----------|
+//! | I1 | all historical data | 1-week moving window |
+//! | I4 | all historical data | 4-week moving window |
+//! | R4 | recent 8-week data | 4-week moving window |
+//! | F4 | first 8-week data | 4-week moving window |
+//!
+//! "The test sets all start from the 9th week and move 1 week for each
+//! step." I1/I4 are *incremental retraining* — the fashion of Opprentice —
+//! which §5.4 shows outperforming the fixed (F) and sliding (R) variants.
+
+use std::ops::Range;
+
+/// How the training window is chosen relative to a test window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingStrategy {
+    /// All data before the test window (incremental retraining, I*).
+    AllHistory,
+    /// The most recent `n` weeks before the test window (R*).
+    RecentWeeks(usize),
+    /// The first `n` weeks of the data, fixed forever (F*).
+    FirstWeeks(usize),
+}
+
+impl TrainingStrategy {
+    /// Table 2's row labels for the 4-week test variants.
+    pub fn table2_id(&self, test_weeks: usize) -> String {
+        let letter = match self {
+            TrainingStrategy::AllHistory => "I",
+            TrainingStrategy::RecentWeeks(_) => "R",
+            TrainingStrategy::FirstWeeks(_) => "F",
+        };
+        format!("{letter}{test_weeks}")
+    }
+
+    /// The training week range for a test window starting at
+    /// `test_start_week` (0-based).
+    pub fn train_weeks(&self, test_start_week: usize) -> Range<usize> {
+        match *self {
+            TrainingStrategy::AllHistory => 0..test_start_week,
+            TrainingStrategy::RecentWeeks(n) => test_start_week.saturating_sub(n)..test_start_week,
+            TrainingStrategy::FirstWeeks(n) => 0..n.min(test_start_week),
+        }
+    }
+}
+
+/// The evaluation plan: the paper fixes 8 initial training weeks, test sets
+/// starting at week 9 (0-based week 8), moving one week per step.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalPlan {
+    /// Weeks reserved as initial training data (8 in the paper).
+    pub initial_train_weeks: usize,
+    /// Test window length in weeks (1 for I1, 4 for I4/R4/F4).
+    pub test_weeks: usize,
+}
+
+impl EvalPlan {
+    /// The paper's I1 plan: 8 initial weeks, 1-week test windows.
+    pub fn weekly() -> Self {
+        Self { initial_train_weeks: 8, test_weeks: 1 }
+    }
+
+    /// The paper's 4-week-window plan (I4/R4/F4).
+    pub fn four_week() -> Self {
+        Self { initial_train_weeks: 8, test_weeks: 4 }
+    }
+
+    /// All test windows (week ranges) available in `total_weeks` of data.
+    pub fn test_windows(&self, total_weeks: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = self.initial_train_weeks;
+        while start + self.test_weeks <= total_weeks {
+            out.push(start..start + self.test_weeks);
+            start += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_windows_start_at_week_9_and_slide_weekly() {
+        let plan = EvalPlan::weekly();
+        let ws = plan.test_windows(12);
+        assert_eq!(ws, vec![8..9, 9..10, 10..11, 11..12]);
+    }
+
+    #[test]
+    fn four_week_windows_fit_within_data() {
+        let plan = EvalPlan::four_week();
+        let ws = plan.test_windows(16);
+        assert_eq!(ws.first(), Some(&(8..12)));
+        assert_eq!(ws.last(), Some(&(12..16)));
+        assert_eq!(ws.len(), 5);
+    }
+
+    #[test]
+    fn too_short_data_has_no_windows() {
+        assert!(EvalPlan::four_week().test_windows(10).is_empty());
+        assert_eq!(EvalPlan::weekly().test_windows(9).len(), 1);
+    }
+
+    #[test]
+    fn all_history_grows_with_time() {
+        let s = TrainingStrategy::AllHistory;
+        assert_eq!(s.train_weeks(8), 0..8);
+        assert_eq!(s.train_weeks(12), 0..12);
+    }
+
+    #[test]
+    fn recent_weeks_slides() {
+        let s = TrainingStrategy::RecentWeeks(8);
+        assert_eq!(s.train_weeks(8), 0..8);
+        assert_eq!(s.train_weeks(12), 4..12);
+    }
+
+    #[test]
+    fn first_weeks_is_fixed() {
+        let s = TrainingStrategy::FirstWeeks(8);
+        assert_eq!(s.train_weeks(8), 0..8);
+        assert_eq!(s.train_weeks(12), 0..8);
+        // Degenerate early case: cannot train on future data.
+        assert_eq!(s.train_weeks(5), 0..5);
+    }
+
+    #[test]
+    fn table2_ids() {
+        assert_eq!(TrainingStrategy::AllHistory.table2_id(1), "I1");
+        assert_eq!(TrainingStrategy::AllHistory.table2_id(4), "I4");
+        assert_eq!(TrainingStrategy::RecentWeeks(8).table2_id(4), "R4");
+        assert_eq!(TrainingStrategy::FirstWeeks(8).table2_id(4), "F4");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the framework layer.
+
+use opprentice::cthld::{pc_score, select_operating_point, CthldMetric, Preference};
+use opprentice::evaluate::moving_window_metrics;
+use opprentice::postprocess::{group_alerts, DurationFilter};
+use opprentice::predictor::EwmaCthldPredictor;
+use opprentice_learn::metrics::PrPoint;
+use proptest::prelude::*;
+
+fn curve_strategy() -> impl Strategy<Value = Vec<PrPoint>> {
+    prop::collection::vec((0.0f64..1.0, 0.01f64..=1.0), 1..40).prop_map(|mut raw| {
+        // Build a valid curve: thresholds strictly descending, recall
+        // non-decreasing.
+        raw.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        raw.dedup_by(|a, b| a.0 == b.0);
+        let n = raw.len();
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (t, p))| PrPoint {
+                threshold: t,
+                recall: (i + 1) as f64 / n as f64,
+                precision: p,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// PC-Score is the F-Score plus exactly 0 or 1.
+    #[test]
+    fn pc_score_is_f_plus_incentive(r in 0.0f64..=1.0, p in 0.0f64..=1.0) {
+        let pref = Preference::moderate();
+        let f = opprentice_learn::metrics::f_score(r, p);
+        let pc = pc_score(r, p, &pref);
+        let bonus = pc - f;
+        prop_assert!((bonus - 0.0).abs() < 1e-12 || (bonus - 1.0).abs() < 1e-12);
+        prop_assert_eq!((bonus - 1.0).abs() < 1e-12, pref.satisfied_by(r, p));
+    }
+
+    /// The PC-Score selection picks an in-box point whenever one exists.
+    #[test]
+    fn pc_score_selection_finds_the_box(curve in curve_strategy(), rr in 0.1f64..0.9, pp in 0.1f64..0.9) {
+        let pref = Preference { recall: rr, precision: pp };
+        let chosen = select_operating_point(&curve, CthldMetric::PcScore(pref)).unwrap();
+        let box_exists = curve.iter().any(|p| pref.satisfied_by(p.recall, p.precision));
+        if box_exists {
+            prop_assert!(pref.satisfied_by(chosen.recall, chosen.precision),
+                "box exists but chosen {chosen:?}");
+        }
+    }
+
+    /// Every selection metric returns a point that is on the curve.
+    #[test]
+    fn selections_come_from_the_curve(curve in curve_strategy()) {
+        for metric in [
+            CthldMetric::FScore,
+            CthldMetric::Sd11,
+            CthldMetric::PcScore(Preference::moderate()),
+        ] {
+            let p = select_operating_point(&curve, metric).unwrap();
+            prop_assert!(curve.contains(&p), "{metric:?} invented a point");
+        }
+    }
+
+    /// The duration filter preserves stream length and never passes a run
+    /// shorter than the minimum.
+    #[test]
+    fn duration_filter_invariants(verdicts in prop::collection::vec(any::<bool>(), 0..200), min in 1usize..6) {
+        let out = DurationFilter::apply(min, &verdicts);
+        prop_assert_eq!(out.len(), verdicts.len());
+        // No surviving anomaly run is shorter than min.
+        let mut run = 0usize;
+        for (i, &v) in out.iter().enumerate() {
+            if v {
+                run += 1;
+            } else {
+                prop_assert!(run == 0 || run >= min, "short run ending at {i}");
+                run = 0;
+            }
+            // The filter can only remove detections, never add them.
+            prop_assert!(!v || verdicts[i], "filter invented an anomaly at {i}");
+        }
+        prop_assert!(run == 0 || run >= min);
+    }
+
+    /// Alerts partition the anomalous points exactly.
+    #[test]
+    fn alerts_cover_anomalous_points(probs in prop::collection::vec(prop::option::of(0.0f64..1.0), 0..150)) {
+        let cthld = 0.5;
+        let alerts = group_alerts(&probs, cthld);
+        let mut covered = vec![false; probs.len()];
+        for a in &alerts {
+            prop_assert!(a.peak_probability >= cthld);
+            for i in a.window.start..a.window.end {
+                prop_assert!(probs[i].is_some_and(|p| p >= cthld), "alert covers normal point {i}");
+                covered[i] = true;
+            }
+        }
+        for (i, p) in probs.iter().enumerate() {
+            if p.is_some_and(|p| p >= cthld) {
+                prop_assert!(covered[i], "anomalous point {i} not alerted");
+            }
+        }
+    }
+
+    /// EWMA predictions always stay inside [0, 1] and converge to a
+    /// constant input.
+    #[test]
+    fn ewma_predictor_bounds(updates in prop::collection::vec(0.0f64..=1.0, 1..50), alpha in 0.01f64..=1.0) {
+        let mut p = EwmaCthldPredictor::new(alpha);
+        for &u in &updates {
+            let next = p.update(u);
+            prop_assert!((0.0..=1.0).contains(&next));
+        }
+        // Converge on repetition (rate depends on alpha).
+        for _ in 0..2000 {
+            p.update(0.7);
+        }
+        prop_assert!((p.predict().unwrap() - 0.7).abs() < 1e-3);
+    }
+
+    /// Moving-window metrics always produce recall/precision in [0, 1] and
+    /// at most one point per step position.
+    #[test]
+    fn moving_window_bounds(
+        n in 10usize..120,
+        window in 2usize..20,
+        step in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let scores: Vec<Option<f64>> = (0..n).map(|_| (next() > 0.1).then(&mut next)).collect();
+        let truth: Vec<bool> = (0..n).map(|_| next() < 0.2).collect();
+        let cthlds = vec![0.5; n];
+        let points = moving_window_metrics(&scores, &cthlds, &truth, window.min(n), step);
+        for p in &points {
+            prop_assert!((0.0..=1.0).contains(&p.recall));
+            prop_assert!((0.0..=1.0).contains(&p.precision));
+            prop_assert!(p.start + window.min(n) <= n);
+        }
+    }
+}

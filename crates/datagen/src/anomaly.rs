@@ -1,0 +1,334 @@
+//! Injection of the paper's anomaly archetypes with exact ground truth.
+//!
+//! §2.1: "KPI time series data can also present several unexpected patterns
+//! (e.g., jitters, slow ramp-ups, sudden spikes and dips) in different
+//! severity levels, such as a sudden drop by 20% or 50%." The injector
+//! reproduces exactly that vocabulary, drawing windows until a target
+//! anomalous-point ratio is reached, so the training set contains the
+//! diverse anomaly kinds Opprentice's incremental retraining is meant to
+//! accumulate.
+
+use crate::randutil;
+use opprentice_timeseries::{AnomalyWindow, Labels};
+use rand::Rng;
+
+/// The anomaly archetypes named in §2.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Sudden upward spike.
+    SpikeUp,
+    /// Sudden dip ("a sudden drop by 20% or 50%").
+    Dip,
+    /// A sustained shift of the level.
+    LevelShift,
+    /// A slow ramp-up over the window.
+    SlowRamp,
+    /// A burst of jitter (rapid oscillation) — what the search engine's own
+    /// "MA of diff" detector was built to find (§5.2).
+    Jitter,
+}
+
+impl AnomalyKind {
+    /// All archetypes, in a fixed order.
+    pub const ALL: [AnomalyKind; 5] =
+        [AnomalyKind::SpikeUp, AnomalyKind::Dip, AnomalyKind::LevelShift, AnomalyKind::SlowRamp, AnomalyKind::Jitter];
+}
+
+/// Parameters of one injection pass.
+#[derive(Debug, Clone)]
+pub struct InjectionPlan {
+    /// Target fraction of anomalous points.
+    pub target_ratio: f64,
+    /// Mean window length in points (exponentially distributed, min 1).
+    pub mean_len: f64,
+    /// The KPI's base level — additive magnitudes are relative to it
+    /// (already multiplied by the spec's `anomaly_scale`).
+    pub base: f64,
+    /// Relative depth scale for multiplicative dips, in `(0, 1]`. A tight
+    /// KPI like SRT has shallow dips; a volume KPI like PV can drop by half.
+    pub rel_scale: f64,
+    /// Points per week — defines the granularity of the slow severity
+    /// drift below. Zero disables drift.
+    pub points_per_week: usize,
+    /// Probability of forcing an injected anomaly to be an upward spike,
+    /// applied before the regular kind selection. Volume-of-bad-events
+    /// KPIs like #SR are dominated by spike anomalies (which is why the
+    /// simple static threshold is their strongest basic detector, Fig. 9b).
+    pub spike_bias: f64,
+    /// Strength of the week-to-week anomaly-severity drift in `[0, 1)`.
+    ///
+    /// §4.5.2 of the paper observes that "the underlying problems that
+    /// cause KPI anomalies might last for some time before they are really
+    /// fixed, so the neighboring weeks are more likely to have similar
+    /// anomalies and require similar cThlds". The injector reproduces that
+    /// persistence: each week carries a severity multiplier following a
+    /// slow AR(1) random walk, so anomaly magnitudes (and hence the best
+    /// cThld) are autocorrelated across neighboring weeks.
+    pub weekly_drift: f64,
+}
+
+/// Applies one anomaly of the given kind in-place over `window`.
+/// `magnitude` is a relative severity in roughly `[0.2, 1.0]`.
+fn apply_kind<R: Rng>(
+    kind: AnomalyKind,
+    values: &mut [f64],
+    base: f64,
+    rel_scale: f64,
+    magnitude: f64,
+    rng: &mut R,
+) {
+    let n = values.len();
+    match kind {
+        AnomalyKind::SpikeUp => {
+            for v in values.iter_mut() {
+                *v += base * magnitude * (1.5 + randutil::normal(rng).abs());
+            }
+        }
+        AnomalyKind::Dip => {
+            // "a sudden drop by 20% or 50%": multiplicative drop, scaled to
+            // the KPI's anomaly depth.
+            let factor = (1.0 - magnitude * rel_scale).clamp(0.05, 0.97);
+            for v in values.iter_mut() {
+                *v *= factor;
+            }
+        }
+        AnomalyKind::LevelShift => {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            for v in values.iter_mut() {
+                *v += sign * base * magnitude;
+            }
+        }
+        AnomalyKind::SlowRamp => {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            for (i, v) in values.iter_mut().enumerate() {
+                let progress = (i + 1) as f64 / n as f64;
+                *v += sign * base * magnitude * 1.5 * progress;
+            }
+        }
+        AnomalyKind::Jitter => {
+            for (i, v) in values.iter_mut().enumerate() {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                *v += sign * base * magnitude * (0.8 + 0.4 * rng.gen::<f64>());
+            }
+        }
+    }
+    for v in values.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Injects anomalies into `values` until `plan.target_ratio` of the points
+/// are anomalous. Returns the injected windows (sorted, disjoint) and the
+/// per-point ground truth.
+pub fn inject<R: Rng>(
+    values: &mut [f64],
+    plan: &InjectionPlan,
+    rng: &mut R,
+) -> (Vec<AnomalyWindow>, Labels) {
+    let n = values.len();
+    let mut truth = Labels::all_normal(n);
+    let mut windows: Vec<AnomalyWindow> = Vec::new();
+    let target_points = (plan.target_ratio * n as f64).round() as usize;
+    let mut injected = 0usize;
+    let mut attempts = 0usize;
+
+    // Weekly regime multipliers: a slow log-space AR(1) walk, so anomaly
+    // regimes persist across neighboring weeks (see `weekly_drift`). The
+    // factor modulates both the *severity* and the *density* of anomalies
+    // in a week — underlying problems that linger produce both more and
+    // similarly-sized anomalies until fixed.
+    let n_weeks = if plan.points_per_week > 0 { n.div_ceil(plan.points_per_week) } else { 1 };
+    let mut week_factor = vec![1.0f64; n_weeks];
+    if plan.weekly_drift > 0.0 && plan.points_per_week > 0 {
+        let rho = 0.85f64;
+        let mut log_f = 0.0f64;
+        for wf in week_factor.iter_mut() {
+            log_f = rho * log_f + plan.weekly_drift * randutil::normal(rng);
+            *wf = log_f.exp().clamp(0.3, 3.0);
+        }
+    }
+    // Per-week anomalous-point budgets proportional to the regime factor.
+    let factor_sum: f64 = week_factor.iter().sum();
+    let week_budget: Vec<usize> = week_factor
+        .iter()
+        .map(|f| ((target_points as f64) * f / factor_sum).round() as usize)
+        .collect();
+    let mut week_used = vec![0usize; n_weeks];
+
+    // A dominant anomaly kind per week, persisting via a sticky Markov
+    // chain — recurring root causes produce the *same kind* of anomaly for
+    // several weeks before being fixed (§4.5.2's persistence argument).
+    let mut week_kind: Vec<AnomalyKind> = Vec::with_capacity(n_weeks);
+    let mut cur_kind = AnomalyKind::ALL[rng.gen_range(0..AnomalyKind::ALL.len())];
+    for _ in 0..n_weeks {
+        if rng.gen::<f64>() < 0.3 {
+            cur_kind = AnomalyKind::ALL[rng.gen_range(0..AnomalyKind::ALL.len())];
+        }
+        week_kind.push(cur_kind);
+    }
+
+    while injected < target_points && attempts < 100 * (target_points + 1) {
+        attempts += 1;
+        let len = randutil::duration(rng, plan.mean_len).min(n / 4 + 1);
+        let start = rng.gen_range(0..n.saturating_sub(len).max(1));
+        let window = AnomalyWindow::new(start, (start + len).min(n).max(start + 1));
+        // Keep windows disjoint with a 1-point gap so ground-truth windows
+        // stay individually recoverable.
+        let padded = AnomalyWindow::new(window.start.saturating_sub(1), (window.end + 1).min(n).max(window.start + 1));
+        if windows.iter().any(|w| w.overlaps(&padded)) {
+            continue;
+        }
+        // Respect the weekly density budget (with slack late in the pass so
+        // the global target is still reachable).
+        let week = window.start.checked_div(plan.points_per_week).unwrap_or(0);
+        let early = attempts < 30 * (target_points + 1);
+        if plan.weekly_drift > 0.0 && early && week_used[week] >= week_budget[week] + window.len() {
+            continue;
+        }
+
+        // Spike-dominated KPIs first; otherwise the week's dominant kind
+        // most of the time; any kind else.
+        let kind = if rng.gen::<f64>() < plan.spike_bias {
+            AnomalyKind::SpikeUp
+        } else if plan.weekly_drift > 0.0 && rng.gen::<f64>() < 0.6 {
+            week_kind[week.min(week_kind.len() - 1)]
+        } else {
+            AnomalyKind::ALL[rng.gen_range(0..AnomalyKind::ALL.len())]
+        };
+        // Severity levels: mixture of mild and severe, per §2.1, modulated
+        // by the persistent weekly regime.
+        let base_mag = if rng.gen::<f64>() < 0.5 { rng.gen_range(0.2..0.5) } else { rng.gen_range(0.5..1.0) };
+        let magnitude = (base_mag * week_factor[week.min(week_factor.len() - 1)]).clamp(0.1, 2.0);
+        week_used[week] += window.len();
+        apply_kind(kind, &mut values[window.start..window.end], plan.base, plan.rel_scale, magnitude, rng);
+        for i in window.start..window.end {
+            truth.mark(i);
+        }
+        injected += window.len();
+        windows.push(window);
+    }
+
+    windows.sort_by_key(|w| w.start);
+    (windows, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat(n: usize) -> Vec<f64> {
+        vec![100.0; n]
+    }
+
+    fn run_inject(n: usize, ratio: f64, mean_len: f64, seed: u64) -> (Vec<f64>, Vec<AnomalyWindow>, Labels) {
+        let mut values = flat(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = InjectionPlan {
+            target_ratio: ratio,
+            mean_len,
+            base: 100.0,
+            rel_scale: 1.0,
+            points_per_week: 0,
+            spike_bias: 0.0,
+            weekly_drift: 0.0,
+        };
+        let (w, l) = inject(&mut values, &plan, &mut rng);
+        (values, w, l)
+    }
+
+    #[test]
+    fn hits_target_ratio() {
+        let (_, _, labels) = run_inject(20_000, 0.05, 10.0, 1);
+        let r = labels.anomaly_ratio();
+        assert!((r - 0.05).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_sorted() {
+        let (_, windows, _) = run_inject(20_000, 0.08, 15.0, 2);
+        assert!(windows.len() > 10);
+        for pair in windows.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_windows() {
+        let (_, windows, labels) = run_inject(10_000, 0.06, 8.0, 3);
+        let rebuilt = Labels::from_windows(10_000, &windows);
+        assert_eq!(labels, rebuilt);
+    }
+
+    #[test]
+    fn anomalous_points_actually_deviate() {
+        let (values, windows, _) = run_inject(10_000, 0.05, 10.0, 4);
+        // On a flat base of 100, every anomaly kind moves the value.
+        let mut moved = 0usize;
+        let mut total = 0usize;
+        for w in &windows {
+            for v in &values[w.start..w.end] {
+                total += 1;
+                if (v - 100.0).abs() > 5.0 {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(moved as f64 / total as f64 > 0.8, "{moved}/{total} moved");
+    }
+
+    #[test]
+    fn normal_points_untouched() {
+        let (values, _, labels) = run_inject(10_000, 0.05, 10.0, 5);
+        for (i, v) in values.iter().enumerate() {
+            if !labels.is_anomaly(i) {
+                assert_eq!(*v, 100.0, "normal point {i} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn values_stay_non_negative() {
+        let (values, _, _) = run_inject(10_000, 0.2, 20.0, 6);
+        assert!(values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn each_kind_changes_a_flat_window() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for kind in AnomalyKind::ALL {
+            let mut vals = vec![100.0; 20];
+            apply_kind(kind, &mut vals, 100.0, 1.0, 0.5, &mut rng);
+            let max_dev = vals.iter().map(|v| (v - 100.0).abs()).fold(0.0, f64::max);
+            assert!(max_dev > 10.0, "{kind:?} barely moved the data: {max_dev}");
+        }
+    }
+
+    #[test]
+    fn dip_reduces_values() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut vals = vec![100.0; 10];
+        apply_kind(AnomalyKind::Dip, &mut vals, 100.0, 1.0, 0.5, &mut rng);
+        assert!(vals.iter().all(|&v| v < 100.0 && v > 0.0));
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_magnitude() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut vals = vec![100.0; 30];
+        apply_kind(AnomalyKind::SlowRamp, &mut vals, 100.0, 1.0, 0.8, &mut rng);
+        let first_dev = (vals[0] - 100.0).abs();
+        let last_dev = (vals[29] - 100.0).abs();
+        assert!(last_dev > 5.0 * first_dev.max(0.1), "{first_dev} -> {last_dev}");
+    }
+
+    #[test]
+    fn zero_ratio_injects_nothing() {
+        let (values, windows, labels) = run_inject(1000, 0.0, 10.0, 12);
+        assert!(windows.is_empty());
+        assert_eq!(labels.anomaly_count(), 0);
+        assert!(values.iter().all(|&v| v == 100.0));
+    }
+}

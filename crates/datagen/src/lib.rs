@@ -1,0 +1,31 @@
+//! Synthetic KPI data calibrated to the Opprentice paper's Table 1.
+//!
+//! The paper evaluates on three proprietary KPIs of a top global search
+//! engine — search page views (PV), number of slow responses (#SR) and the
+//! 80th-percentile search response time (SRT). Those traces cannot be
+//! redistributed, so this crate builds the closest synthetic equivalent
+//! (see DESIGN.md §1 for the substitution argument):
+//!
+//! * [`KpiSpec`] — a parametric generator of seasonal KPI series (daily and
+//!   weekly profile, Gaussian and heavy-tailed noise, missing points),
+//! * [`anomaly`] — an injector of the paper's anomaly archetypes ("jitters,
+//!   slow ramp-ups, sudden spikes and dips", §2.1) with exact ground truth,
+//! * [`presets`] — `pv()`, `sr()`, `srt()` calibrated to Table 1's interval,
+//!   length, seasonality band, coefficient of variation and §5.1's anomaly
+//!   ratios (7.8%, 2.8%, 7.4%),
+//! * [`operator`] — the simulated operator of the labeling tool (§4.2):
+//!   window labels with boundary noise, plus the labeling-time cost model
+//!   behind Fig. 14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod model;
+pub mod operator;
+pub mod presets;
+mod randutil;
+
+pub use anomaly::{AnomalyKind, InjectionPlan};
+pub use model::{KpiSpec, LabeledKpi};
+pub use operator::{LabelingSession, SimulatedOperator};

@@ -1,0 +1,315 @@
+//! The parametric KPI generator.
+//!
+//! A generated KPI is `baseline(t) · seasonal(t) + noise(t) + bursts(t)`,
+//! with the paper's anomaly archetypes injected afterwards (see
+//! [`crate::anomaly`]). The knobs map directly onto Table 1's columns:
+//! `daily_amp`/`weekly_amp` control the seasonality band, `noise_sigma` and
+//! the burst parameters control the coefficient of variation, and
+//! `anomaly_ratio`/`mean_anomaly_len` control §5.1's labeled-anomaly
+//! fraction.
+
+use crate::anomaly::{self, InjectionPlan};
+use crate::randutil;
+use opprentice_timeseries::{AnomalyWindow, Labels, TimeSeries, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generated KPI with exact ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledKpi {
+    /// Human-readable KPI name ("PV", "#SR", "SRT", …).
+    pub name: String,
+    /// The series itself (`NaN` marks missing points).
+    pub series: TimeSeries,
+    /// Exact per-point ground truth from the injector.
+    pub truth: Labels,
+    /// The injected anomalous windows (one per injection event).
+    pub windows: Vec<AnomalyWindow>,
+}
+
+impl LabeledKpi {
+    /// Splits the KPI at `week` boundaries: `(first_n_weeks, rest)` — used
+    /// for the paper's "first 8 weeks are the initial training set" setup.
+    pub fn split_at_week(&self, week: usize) -> ((TimeSeries, Labels), (TimeSeries, Labels)) {
+        let cut = week * self.series.points_per_week();
+        let cut = cut.min(self.series.len());
+        (
+            (self.series.slice(0..cut), self.truth.slice(0..cut)),
+            (self.series.slice(cut..self.series.len()), self.truth.slice(cut..self.series.len())),
+        )
+    }
+}
+
+/// Full specification of a synthetic KPI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KpiSpec {
+    /// KPI name.
+    pub name: String,
+    /// Sampling interval in seconds (Table 1: 60 for PV/#SR, 3600 for SRT).
+    pub interval: u32,
+    /// Length in whole weeks (Table 1: 25 / 19 / 16).
+    pub weeks: usize,
+    /// Mean level of the series.
+    pub base: f64,
+    /// Relative amplitude of the daily profile (0 = none, 0.6 = strong).
+    pub daily_amp: f64,
+    /// Relative weekday/weekend modulation.
+    pub weekly_amp: f64,
+    /// Gaussian noise sigma, relative to `base`.
+    pub noise_sigma: f64,
+    /// Duty cycle of background heavy-tail burst *episodes* (models #SR's
+    /// spiky, high-Cv nature). Bursts arrive as multi-point episodes with a
+    /// per-episode magnitude, because real slow-response surges persist for
+    /// several minutes rather than a single sample.
+    pub burst_rate: f64,
+    /// Log-space sigma of burst magnitudes.
+    pub burst_sigma: f64,
+    /// Relative scale of burst magnitudes (multiplied by `base`).
+    pub burst_scale: f64,
+    /// Target fraction of anomalous points (§5.1: 0.078 / 0.028 / 0.074).
+    pub anomaly_ratio: f64,
+    /// Scale of *additive* anomaly magnitudes relative to `base`. Tight
+    /// KPIs (SRT, Cv 0.07) have operator-noticeable anomalies that are small
+    /// in absolute terms; spiky KPIs (#SR) need anomalies that stand above
+    /// the background bursts.
+    pub anomaly_scale: f64,
+    /// Probability that an injected anomaly is forced to be an upward
+    /// spike (see [`crate::anomaly::InjectionPlan::spike_bias`]).
+    pub spike_bias: f64,
+    /// Week-to-week anomaly-severity drift strength (see
+    /// [`crate::anomaly::InjectionPlan::weekly_drift`]).
+    pub anomaly_drift: f64,
+    /// Mean anomalous-window length in points.
+    pub mean_anomaly_len: f64,
+    /// When set, values above this quantile of the generated series are
+    /// *also* labeled anomalous (merged into the ground truth). Models
+    /// bursty KPIs like #SR where operators, labeling "based on the data
+    /// curve itself" (§6), flag extreme spikes regardless of their origin —
+    /// which is exactly why the simple static threshold is the strongest
+    /// basic detector on #SR in the paper (Fig. 9b).
+    pub extreme_label_quantile: Option<f64>,
+    /// Fraction of points dropped as missing ("dirty data", §6).
+    pub missing_ratio: f64,
+    /// RNG seed — generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl KpiSpec {
+    /// Points per day at this spec's interval.
+    pub fn points_per_day(&self) -> usize {
+        (SECONDS_PER_DAY / i64::from(self.interval)) as usize
+    }
+
+    /// Total points generated.
+    pub fn total_points(&self) -> usize {
+        self.points_per_day() * 7 * self.weeks
+    }
+
+    /// Generates the KPI: seasonal baseline + noise, then anomaly injection,
+    /// then missing-point dropout. Deterministic in the spec.
+    pub fn generate(&self) -> LabeledKpi {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.total_points();
+        let per_day = self.points_per_day() as f64;
+
+        // Smooth daily profile: two harmonics with a seed-stable phase.
+        let phase1 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let phase2 = rng.gen::<f64>() * std::f64::consts::TAU;
+        // Weekday factors: weekend dip scaled by weekly_amp.
+        let weekday_factor: Vec<f64> = (0..7)
+            .map(|d| if d >= 5 { 1.0 - self.weekly_amp } else { 1.0 + 0.2 * self.weekly_amp })
+            .collect();
+
+        // Burst episodes: a two-state process whose duty cycle matches
+        // `burst_rate`; each episode carries one log-normal magnitude.
+        let p_exit = 0.12f64;
+        let p_enter = if self.burst_rate > 0.0 && self.burst_rate < 1.0 {
+            (self.burst_rate * p_exit / (1.0 - self.burst_rate)).min(1.0)
+        } else {
+            0.0
+        };
+        let mut in_burst = false;
+        let mut burst_level = 0.0f64;
+
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let day_pos = (i as f64 % per_day) / per_day;
+            let day_idx = (i / self.points_per_day()) % 7;
+            let season = 1.0
+                + self.daily_amp
+                    * (0.7 * (std::f64::consts::TAU * day_pos + phase1).sin()
+                        + 0.3 * (2.0 * std::f64::consts::TAU * day_pos + phase2).sin());
+            let mut v = self.base * season * weekday_factor[day_idx];
+            v += self.base * self.noise_sigma * randutil::normal(&mut rng);
+            if self.burst_rate > 0.0 {
+                if in_burst {
+                    if rng.gen::<f64>() < p_exit {
+                        in_burst = false;
+                    }
+                } else if rng.gen::<f64>() < p_enter {
+                    in_burst = true;
+                    burst_level = randutil::log_normal(&mut rng, 0.0, self.burst_sigma);
+                }
+                if in_burst {
+                    let wobble = 0.8 + 0.4 * rng.gen::<f64>();
+                    v += self.base * self.burst_scale * burst_level * wobble;
+                }
+            }
+            values.push(v.max(0.0));
+        }
+
+        // Inject anomalies with exact ground truth.
+        let plan = InjectionPlan {
+            target_ratio: self.anomaly_ratio,
+            mean_len: self.mean_anomaly_len,
+            base: self.base * self.anomaly_scale,
+            rel_scale: self.anomaly_scale.min(1.0),
+            points_per_week: self.points_per_day() * 7,
+            spike_bias: self.spike_bias,
+            weekly_drift: self.anomaly_drift,
+        };
+        let (mut windows, mut truth) = anomaly::inject(&mut values, &plan, &mut rng);
+
+        // Bursty KPIs: extreme values are anomalies to the operator's eye,
+        // whatever produced them. An operator labels the *whole* elevated
+        // episode once its peak crosses the line, so each above-threshold
+        // run is expanded outward while neighbors stay clearly elevated.
+        if let Some(q) = self.extreme_label_quantile {
+            let threshold = opprentice_numeric::stats::quantile(&values, q)
+                .expect("non-empty series");
+            let elevated = 0.6 * threshold;
+            let mut i = 0;
+            while i < n {
+                if values[i] > threshold {
+                    let mut lo = i;
+                    while lo > 0 && values[lo - 1] > elevated {
+                        lo -= 1;
+                    }
+                    let mut hi = i;
+                    while hi + 1 < n && values[hi + 1] > elevated {
+                        hi += 1;
+                    }
+                    for j in lo..=hi {
+                        truth.mark(j);
+                    }
+                    i = hi + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            windows = truth.to_windows();
+        }
+
+        // Dirty data: drop points at random (missing points stay labeled as
+        // whatever the window says; evaluation skips them).
+        if self.missing_ratio > 0.0 {
+            for v in values.iter_mut() {
+                if rng.gen::<f64>() < self.missing_ratio {
+                    *v = f64::NAN;
+                }
+            }
+        }
+
+        LabeledKpi {
+            name: self.name.clone(),
+            series: TimeSeries::from_values(0, self.interval, values),
+            truth,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_timeseries::stats;
+
+    fn small_spec() -> KpiSpec {
+        KpiSpec {
+            name: "test".into(),
+            interval: 300,
+            weeks: 3,
+            base: 100.0,
+            daily_amp: 0.5,
+            weekly_amp: 0.2,
+            noise_sigma: 0.05,
+            burst_rate: 0.0,
+            burst_sigma: 1.0,
+            burst_scale: 1.0,
+            anomaly_ratio: 0.05,
+            anomaly_scale: 1.0,
+            spike_bias: 0.0,
+            anomaly_drift: 0.0,
+            mean_anomaly_len: 12.0,
+            extreme_label_quantile: None,
+            missing_ratio: 0.002,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.windows, b.windows);
+    }
+
+    #[test]
+    fn length_matches_spec() {
+        let spec = small_spec();
+        let kpi = spec.generate();
+        assert_eq!(kpi.series.len(), spec.total_points());
+        assert_eq!(kpi.truth.len(), kpi.series.len());
+        assert_eq!(kpi.series.points_per_day(), 288);
+    }
+
+    #[test]
+    fn anomaly_ratio_near_target() {
+        let kpi = small_spec().generate();
+        let ratio = kpi.truth.anomaly_ratio();
+        assert!((ratio - 0.05).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn seasonality_visible_in_generated_data() {
+        let kpi = small_spec().generate();
+        let s = stats::seasonality_strength(&kpi.series).unwrap();
+        assert!(s > 0.6, "seasonality {s}");
+    }
+
+    #[test]
+    fn values_are_non_negative() {
+        let kpi = small_spec().generate();
+        assert!(kpi.series.values().iter().all(|v| v.is_nan() || *v >= 0.0));
+    }
+
+    #[test]
+    fn missing_ratio_near_target() {
+        let kpi = small_spec().generate();
+        let r = kpi.series.missing_ratio();
+        assert!(r > 0.0005 && r < 0.006, "missing {r}");
+    }
+
+    #[test]
+    fn split_at_week_partitions() {
+        let kpi = small_spec().generate();
+        let ((tr_s, tr_l), (te_s, te_l)) = kpi.split_at_week(2);
+        assert_eq!(tr_s.len(), 2 * kpi.series.points_per_week());
+        assert_eq!(tr_s.len() + te_s.len(), kpi.series.len());
+        assert_eq!(tr_l.len(), tr_s.len());
+        assert_eq!(te_l.len(), te_s.len());
+        // Test slice keeps absolute time.
+        assert_eq!(te_s.start(), kpi.series.timestamp_at(tr_s.len()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec2 = small_spec();
+        spec2.seed = 8;
+        assert_ne!(small_spec().generate().series, spec2.generate().series);
+    }
+}

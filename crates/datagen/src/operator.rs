@@ -1,0 +1,199 @@
+//! The simulated operator: window labeling with human noise, plus the
+//! labeling-time accounting behind Fig. 14.
+//!
+//! §4.2: operators "left click and drag the mouse to label the window of
+//! anomalies", and "the boundaries of an anomalous window are often extended
+//! or narrowed when labeling. However, machine learning is well known for
+//! being robust to noises." The simulator reproduces both facts: each ground
+//! truth window is labeled with jittered boundaries, and occasionally a mild
+//! window is missed entirely.
+//!
+//! Labeling time is modeled as navigation time (scrolling through the data)
+//! plus a per-window action cost — which is exactly why window labeling is
+//! cheap: "operators each time label a window of anomalies rather than
+//! labeling individual anomalous data points one by one" (§5.7).
+
+use crate::model::LabeledKpi;
+use crate::randutil;
+use opprentice_timeseries::{AnomalyWindow, Labels};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Labeling effort and per-month window counts for one month of data —
+/// the axes of Fig. 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthReport {
+    /// Month index (0-based, 30-day months).
+    pub month: usize,
+    /// Number of windows the operator labeled in this month.
+    pub windows: usize,
+    /// Labeling time spent on this month, in minutes.
+    pub minutes: f64,
+}
+
+/// The outcome of one labeling pass over a KPI.
+#[derive(Debug, Clone)]
+pub struct LabelingSession {
+    /// The operator's (noisy) point labels.
+    pub labels: Labels,
+    /// The windows as actually labeled (jittered, possibly missing some).
+    pub windows: Vec<AnomalyWindow>,
+    /// Total labeling time in minutes.
+    pub total_minutes: f64,
+    /// Per-month breakdown (Fig. 14's scatter points).
+    pub months: Vec<MonthReport>,
+}
+
+/// A configurable simulated operator.
+#[derive(Debug, Clone)]
+pub struct SimulatedOperator {
+    /// Standard deviation of window-boundary error, in *minutes* of data
+    /// time (converted to points by the KPI's interval) — humans misplace
+    /// boundaries by wall-clock slop, not by sample counts.
+    pub boundary_jitter_minutes: f64,
+    /// Probability of overlooking an entire window.
+    pub miss_prob: f64,
+    /// Seconds per label action (click-drag of one window).
+    pub seconds_per_window: f64,
+    /// Seconds of navigation per day of data reviewed.
+    pub nav_seconds_per_day: f64,
+    /// RNG seed; labeling is deterministic given the operator and KPI.
+    pub seed: u64,
+}
+
+impl Default for SimulatedOperator {
+    fn default() -> Self {
+        Self {
+            boundary_jitter_minutes: 4.0,
+            miss_prob: 0.02,
+            seconds_per_window: 1.5,
+            nav_seconds_per_day: 2.0,
+            seed: 0xB0A7,
+        }
+    }
+}
+
+impl SimulatedOperator {
+    /// A perfectly accurate (but still window-based) operator — useful to
+    /// isolate the effect of labeling noise in ablations.
+    pub fn perfect() -> Self {
+        Self { boundary_jitter_minutes: 0.0, miss_prob: 0.0, ..Self::default() }
+    }
+
+    /// Labels the KPI's ground-truth windows the way a human would: window
+    /// by window, with boundary jitter and occasional misses, accumulating
+    /// labeling time.
+    pub fn label(&self, kpi: &LabeledKpi) -> LabelingSession {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ kpi.series.len() as u64);
+        let n = kpi.series.len();
+        let points_per_month = kpi.series.points_per_day() * 30;
+        let n_months = n.div_ceil(points_per_month).max(1);
+
+        let jitter_points = self.boundary_jitter_minutes * 60.0 / f64::from(kpi.series.interval());
+        let mut labeled_windows = Vec::new();
+        let mut windows_per_month = vec![0usize; n_months];
+
+        for w in &kpi.windows {
+            if rng.gen::<f64>() < self.miss_prob {
+                continue;
+            }
+            let jitter = |rng: &mut StdRng| (randutil::normal(rng) * jitter_points).round() as i64;
+            let start = (w.start as i64 + jitter(&mut rng)).clamp(0, n as i64 - 1) as usize;
+            let end = (w.end as i64 + jitter(&mut rng)).clamp(start as i64 + 1, n as i64) as usize;
+            let lw = AnomalyWindow::new(start, end);
+            windows_per_month[lw.start / points_per_month] += 1;
+            labeled_windows.push(lw);
+        }
+
+        let mut months = Vec::with_capacity(n_months);
+        let mut total_seconds = 0.0;
+        for (m, &wins) in windows_per_month.iter().enumerate() {
+            let month_points = points_per_month.min(n - m * points_per_month);
+            let days = month_points as f64 / kpi.series.points_per_day() as f64;
+            let secs = days * self.nav_seconds_per_day + wins as f64 * self.seconds_per_window;
+            total_seconds += secs;
+            months.push(MonthReport { month: m, windows: wins, minutes: secs / 60.0 });
+        }
+
+        LabelingSession {
+            labels: Labels::from_windows(n, &labeled_windows),
+            windows: labeled_windows,
+            total_minutes: total_seconds / 60.0,
+            months,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn test_kpi() -> LabeledKpi {
+        presets::fast(&presets::pv(), 300).generate()
+    }
+
+    #[test]
+    fn perfect_operator_reproduces_ground_truth() {
+        let kpi = test_kpi();
+        let session = SimulatedOperator::perfect().label(&kpi);
+        assert_eq!(session.labels, kpi.truth);
+        assert_eq!(session.windows.len(), kpi.windows.len());
+    }
+
+    #[test]
+    fn noisy_labels_mostly_agree_with_truth() {
+        let kpi = test_kpi();
+        let session = SimulatedOperator::default().label(&kpi);
+        let n = kpi.truth.len();
+        let agree = (0..n)
+            .filter(|&i| session.labels.is_anomaly(i) == kpi.truth.is_anomaly(i))
+            .count();
+        let agreement = agree as f64 / n as f64;
+        assert!(agreement > 0.93, "agreement {agreement}");
+        // But it should not be a perfect copy (jitter is real).
+        assert_ne!(session.labels, kpi.truth);
+    }
+
+    #[test]
+    fn labeling_time_under_six_minutes_per_month() {
+        // §5.7: "the labeling time of one-month data is less than 6 minutes".
+        for spec in presets::all() {
+            let kpi = presets::fast(&spec, 300).generate();
+            let session = SimulatedOperator::default().label(&kpi);
+            for m in &session.months {
+                assert!(m.minutes < 6.0, "{}: month {} took {:.1} min", kpi.name, m.month, m.minutes);
+            }
+        }
+    }
+
+    #[test]
+    fn labeling_time_grows_with_window_count() {
+        let kpi = test_kpi();
+        let session = SimulatedOperator::default().label(&kpi);
+        // Compare a low-window month against a high-window month.
+        let mut months = session.months.clone();
+        months.sort_by_key(|m| m.windows);
+        let (lo, hi) = (months.first().unwrap(), months.last().unwrap());
+        if hi.windows > lo.windows {
+            assert!(hi.minutes > lo.minutes, "{lo:?} vs {hi:?}");
+        }
+    }
+
+    #[test]
+    fn month_reports_cover_all_windows() {
+        let kpi = test_kpi();
+        let session = SimulatedOperator::default().label(&kpi);
+        let total: usize = session.months.iter().map(|m| m.windows).sum();
+        assert_eq!(total, session.windows.len());
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let kpi = test_kpi();
+        let a = SimulatedOperator::default().label(&kpi);
+        let b = SimulatedOperator::default().label(&kpi);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.total_minutes, b.total_minutes);
+    }
+}

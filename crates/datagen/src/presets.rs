@@ -1,0 +1,180 @@
+//! The three studied KPIs of Table 1, as calibrated generator specs.
+//!
+//! | KPI | interval | length | seasonality | Cv | anomaly ratio |
+//! |-----|----------|--------|-------------|------|---------------|
+//! | PV  | 1 min    | 25 wk  | strong      | 0.48 | 7.8% |
+//! | #SR | 1 min    | 19 wk  | weak        | 2.1  | 2.8% |
+//! | SRT | 60 min   | 16 wk  | moderate    | 0.07 | 7.4% |
+//!
+//! PV (search page views) is a high-volume, strongly periodic series; #SR
+//! (number of slow responses) is spiky with a huge dispersion; SRT (80th
+//! percentile of search response time) is a tight, mildly periodic series.
+//! The calibration tests in this module assert the generated data actually
+//! lands in those bands.
+//!
+//! Because the evaluation host may be much smaller than the paper's testbed,
+//! [`fast`] rescales a 1-minute spec to a 5-minute interval while keeping
+//! the anomaly windows the same *duration* in wall-clock terms. The
+//! experiments in `opprentice-bench` use the fast scale by default and the
+//! paper scale under `--full` (see DESIGN.md §1).
+
+use crate::model::KpiSpec;
+
+/// Search page views: strong seasonality, Cv ≈ 0.48, 7.8% anomalies.
+pub fn pv() -> KpiSpec {
+    KpiSpec {
+        name: "PV".into(),
+        interval: 60,
+        weeks: 25,
+        base: 1000.0,
+        daily_amp: 0.85,
+        weekly_amp: 0.2,
+        noise_sigma: 0.05,
+        burst_rate: 0.0,
+        burst_sigma: 1.0,
+        burst_scale: 0.0,
+        anomaly_ratio: 0.078,
+        anomaly_scale: 0.6,
+        spike_bias: 0.0,
+        anomaly_drift: 0.35,
+        mean_anomaly_len: 30.0,
+        extreme_label_quantile: None,
+        missing_ratio: 0.001,
+        seed: 0x5056_0001,
+    }
+}
+
+/// Number of slow responses: weak seasonality, Cv ≈ 2.1, 2.8% anomalies.
+pub fn sr() -> KpiSpec {
+    KpiSpec {
+        name: "#SR".into(),
+        interval: 60,
+        weeks: 19,
+        base: 50.0,
+        daily_amp: 0.15,
+        weekly_amp: 0.05,
+        noise_sigma: 0.3,
+        burst_rate: 0.07,
+        burst_sigma: 0.9,
+        burst_scale: 6.0,
+        anomaly_ratio: 0.012,
+        anomaly_scale: 8.0,
+        spike_bias: 0.8,
+        anomaly_drift: 0.35,
+        mean_anomaly_len: 15.0,
+        extreme_label_quantile: Some(0.985),
+        missing_ratio: 0.002,
+        seed: 0x5352_0002,
+    }
+}
+
+/// 80th-percentile search response time: moderate seasonality, Cv ≈ 0.07,
+/// 7.4% anomalies, 60-minute interval.
+pub fn srt() -> KpiSpec {
+    KpiSpec {
+        name: "SRT".into(),
+        interval: 3600,
+        weeks: 16,
+        base: 500.0,
+        daily_amp: 0.15,
+        weekly_amp: 0.03,
+        noise_sigma: 0.025,
+        burst_rate: 0.0,
+        burst_sigma: 1.0,
+        burst_scale: 0.0,
+        anomaly_ratio: 0.074,
+        anomaly_scale: 0.16,
+        spike_bias: 0.0,
+        anomaly_drift: 0.35,
+        mean_anomaly_len: 4.0,
+        extreme_label_quantile: None,
+        missing_ratio: 0.001,
+        seed: 0x5354_0003,
+    }
+}
+
+/// The three studied KPIs, in the paper's order.
+pub fn all() -> Vec<KpiSpec> {
+    vec![pv(), sr(), srt()]
+}
+
+/// Rescales a spec to a coarser interval for resource-constrained runs,
+/// keeping anomaly-window *durations* and all relative shape parameters.
+/// Specs already at or above `interval` are returned unchanged.
+pub fn fast(spec: &KpiSpec, interval: u32) -> KpiSpec {
+    if spec.interval >= interval {
+        return spec.clone();
+    }
+    let factor = f64::from(interval) / f64::from(spec.interval);
+    let mut out = spec.clone();
+    out.interval = interval;
+    out.mean_anomaly_len = (spec.mean_anomaly_len / factor).max(2.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_timeseries::stats::{self, Seasonality};
+
+    #[test]
+    fn table1_intervals_and_lengths() {
+        assert_eq!(pv().interval, 60);
+        assert_eq!(pv().weeks, 25);
+        assert_eq!(sr().interval, 60);
+        assert_eq!(sr().weeks, 19);
+        assert_eq!(srt().interval, 3600);
+        assert_eq!(srt().weeks, 16);
+    }
+
+    #[test]
+    fn pv_calibration() {
+        // Fast scale keeps the distributional shape; assert on it to keep
+        // the test quick. Cv band around 0.48, strong seasonality.
+        let kpi = fast(&pv(), 300).generate();
+        let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
+        assert!((0.3..0.7).contains(&cv), "PV Cv {cv}");
+        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Strong));
+        let ratio = kpi.truth.anomaly_ratio();
+        assert!((ratio - 0.078).abs() < 0.02, "PV anomaly ratio {ratio}");
+    }
+
+    #[test]
+    fn sr_calibration() {
+        let kpi = fast(&sr(), 300).generate();
+        let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
+        assert!((1.4..2.8).contains(&cv), "#SR Cv {cv}");
+        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Weak));
+        let ratio = kpi.truth.anomaly_ratio();
+        assert!((ratio - 0.028).abs() < 0.015, "#SR anomaly ratio {ratio}");
+    }
+
+    #[test]
+    fn srt_calibration() {
+        let kpi = srt().generate(); // already coarse (60-minute interval)
+        let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
+        assert!((0.04..0.12).contains(&cv), "SRT Cv {cv}");
+        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Moderate));
+        let ratio = kpi.truth.anomaly_ratio();
+        assert!((ratio - 0.074).abs() < 0.02, "SRT anomaly ratio {ratio}");
+    }
+
+    #[test]
+    fn fast_preserves_duration_of_anomalies() {
+        let full = pv();
+        let f = fast(&full, 300);
+        assert_eq!(f.interval, 300);
+        // 30 points at 1 min = 30 min = 6 points at 5 min.
+        assert!((f.mean_anomaly_len - 6.0).abs() < 1e-9);
+        // Coarsening an already-coarse spec is a no-op.
+        let unchanged = fast(&srt(), 300);
+        assert_eq!(unchanged.interval, srt().interval);
+    }
+
+    #[test]
+    fn full_scale_pv_generates() {
+        let kpi = pv().generate();
+        assert_eq!(kpi.series.len(), 25 * 7 * 1440);
+        assert_eq!(kpi.series.whole_weeks(), 25);
+    }
+}

@@ -1,0 +1,68 @@
+//! Small sampling helpers on top of `rand` (the sanctioned dependency list
+//! excludes `rand_distr`, so the Gaussian and log-normal samplers live here).
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Log-normal with the given log-space parameters.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Geometric-ish positive duration with the given mean (exponential rounded
+/// up), at least 1.
+pub fn duration<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    ((-u.ln()) * mean).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| log_normal(&mut rng, 0.0, 1.3)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let med = {
+            let mut s = xs.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(mean > 1.5 * med, "mean {mean} med {med}");
+    }
+
+    #[test]
+    fn duration_is_positive_with_roughly_right_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds: Vec<usize> = (0..20_000).map(|_| duration(&mut rng, 10.0)).collect();
+        assert!(ds.iter().all(|&d| d >= 1));
+        let mean = ds.iter().sum::<usize>() as f64 / ds.len() as f64;
+        assert!((mean - 10.5).abs() < 1.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the synthetic KPI generator and the simulated
+//! operator.
+
+use opprentice_datagen::model::KpiSpec;
+use opprentice_datagen::SimulatedOperator;
+use opprentice_timeseries::Labels;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = KpiSpec> {
+    (
+        1u64..u64::MAX,     // seed
+        2usize..5,          // weeks
+        10.0f64..5000.0,    // base
+        0.0f64..0.9,        // daily amplitude
+        0.0f64..0.15,       // noise
+        0.0f64..0.12,       // anomaly ratio
+        0.1f64..2.0,        // anomaly scale
+        0.0f64..0.5,        // drift
+        0.0f64..0.01,       // missing ratio
+        prop::sample::select(vec![600u32, 1800, 3600]),
+    )
+        .prop_map(
+            |(seed, weeks, base, daily_amp, noise, ratio, scale, drift, missing, interval)| KpiSpec {
+                name: "prop".into(),
+                interval,
+                weeks,
+                base,
+                daily_amp,
+                weekly_amp: 0.1,
+                noise_sigma: noise,
+                burst_rate: 0.0,
+                burst_sigma: 1.0,
+                burst_scale: 0.0,
+                anomaly_ratio: ratio,
+                anomaly_scale: scale,
+                spike_bias: 0.0,
+                anomaly_drift: drift,
+                mean_anomaly_len: 6.0,
+                extreme_label_quantile: None,
+                missing_ratio: missing,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants of every generated KPI.
+    #[test]
+    fn generated_kpi_is_structurally_sound(spec in spec_strategy()) {
+        let kpi = spec.generate();
+        prop_assert_eq!(kpi.series.len(), spec.total_points());
+        prop_assert_eq!(kpi.truth.len(), kpi.series.len());
+        // Values non-negative or missing.
+        prop_assert!(kpi.series.values().iter().all(|v| v.is_nan() || *v >= 0.0));
+        // Windows sorted, disjoint, matching the point labels.
+        for w in kpi.windows.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        let rebuilt = Labels::from_windows(kpi.series.len(), &kpi.windows);
+        prop_assert_eq!(&rebuilt, &kpi.truth);
+        // Ratio lands near the target. The injector can overshoot by the
+        // final window's length, which matters on tiny series — scale the
+        // slack accordingly.
+        let ratio = kpi.truth.anomaly_ratio();
+        let slack = 0.05 + 8.0 * spec.mean_anomaly_len / kpi.series.len() as f64;
+        prop_assert!(ratio <= spec.anomaly_ratio + slack, "ratio {ratio}");
+    }
+
+    /// Identical specs generate identical KPIs; different seeds differ.
+    #[test]
+    fn generation_deterministic_in_seed(spec in spec_strategy()) {
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a.series, &b.series);
+        prop_assert_eq!(&a.truth, &b.truth);
+        let mut other = spec.clone();
+        other.seed = spec.seed.wrapping_add(1);
+        let c = other.generate();
+        // Same length, different content (with overwhelming probability).
+        prop_assert_eq!(c.series.len(), a.series.len());
+        if spec.noise_sigma > 0.01 {
+            prop_assert_ne!(&c.series, &a.series);
+        }
+    }
+
+    /// The perfect operator is the identity on labels; the noisy one stays
+    /// close and preserves label-vector length.
+    #[test]
+    fn operator_respects_truth(spec in spec_strategy()) {
+        let kpi = spec.generate();
+        let perfect = SimulatedOperator::perfect().label(&kpi);
+        prop_assert_eq!(&perfect.labels, &kpi.truth);
+        let noisy = SimulatedOperator::default().label(&kpi);
+        prop_assert_eq!(noisy.labels.len(), kpi.truth.len());
+        let disagree = (0..kpi.truth.len())
+            .filter(|&i| noisy.labels.is_anomaly(i) != kpi.truth.is_anomaly(i))
+            .count();
+        prop_assert!(disagree <= kpi.truth.anomaly_count() + kpi.series.len() / 10);
+        // Labeling time is positive and finite.
+        prop_assert!(noisy.total_minutes >= 0.0 && noisy.total_minutes.is_finite());
+    }
+
+    /// Missing ratio tracks the spec.
+    #[test]
+    fn missing_ratio_tracks_spec(spec in spec_strategy()) {
+        let kpi = spec.generate();
+        let measured = kpi.series.missing_ratio();
+        prop_assert!(measured <= spec.missing_ratio * 3.0 + 0.01, "{measured} vs {}", spec.missing_ratio);
+    }
+}

@@ -1,0 +1,192 @@
+//! The detector registry: Table 3's 14 detectors / 133 configurations.
+//!
+//! §4.3.3's sampling strategies are encoded verbatim: intuitive parameters
+//! are swept on coarse grids ("we only need a set of good enough features"),
+//! while ARIMA estimates its parameters from data. §5.2: "In total, we have
+//! 14 detectors and 133 configurations, or 133 features for random forests."
+
+use crate::arima::ArimaDetector;
+use crate::diff::{Diff, DiffLag};
+use crate::ewma::EwmaDetector;
+use crate::historical::HistoricalAverage;
+use crate::holt_winters::HoltWintersDetector;
+use crate::ma::{MaOfDiff, SimpleMa, WeightedMa};
+use crate::simple_threshold::SimpleThreshold;
+use crate::svd::SvdDetector;
+use crate::tsd::Tsd;
+use crate::wavelet::{Band, WaveletDetector};
+use crate::Detector;
+
+/// One entry of the registry: a ready-to-run detector configuration.
+pub struct ConfiguredDetector {
+    /// Stable feature index (0..132) — column in the feature matrix.
+    pub index: usize,
+    /// The boxed detector, fresh (no state).
+    pub detector: Box<dyn Detector>,
+}
+
+impl ConfiguredDetector {
+    /// `"<name> (<params>)"` — e.g. `"TSD MAD (win=5 week(s))"`.
+    pub fn label(&self) -> String {
+        format!("{} ({})", self.detector.name(), self.detector.config())
+    }
+}
+
+/// The number of configurations Table 3 commits to.
+pub const CONFIG_COUNT: usize = 133;
+
+/// Builds the full Table 3 registry for a KPI sampled at `interval`
+/// seconds. Order is deterministic; indices are stable across calls.
+pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
+    let mut out: Vec<Box<dyn Detector>> = Vec::with_capacity(CONFIG_COUNT);
+
+    // Simple threshold [24] — 1 configuration.
+    out.push(Box::new(SimpleThreshold::new()));
+
+    // Diff — last-slot, last-day, last-week.
+    for lag in [DiffLag::LastSlot, DiffLag::LastDay, DiffLag::LastWeek] {
+        out.push(Box::new(Diff::new(lag, interval)));
+    }
+
+    // Simple MA [4], weighted MA [11], MA of diff — win = 10..50 points.
+    for win in [10usize, 20, 30, 40, 50] {
+        out.push(Box::new(SimpleMa::new(win)));
+    }
+    for win in [10usize, 20, 30, 40, 50] {
+        out.push(Box::new(WeightedMa::new(win)));
+    }
+    for win in [10usize, 20, 30, 40, 50] {
+        out.push(Box::new(MaOfDiff::new(win)));
+    }
+
+    // EWMA [11] — alpha = 0.1, 0.3, 0.5, 0.7, 0.9.
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        out.push(Box::new(EwmaDetector::new(alpha)));
+    }
+
+    // TSD [1] and TSD MAD — win = 1..5 weeks.
+    for weeks in 1..=5usize {
+        out.push(Box::new(Tsd::new(weeks, false, interval)));
+    }
+    for weeks in 1..=5usize {
+        out.push(Box::new(Tsd::new(weeks, true, interval)));
+    }
+
+    // Historical average [5] and historical MAD — win = 1..5 weeks.
+    for weeks in 1..=5usize {
+        out.push(Box::new(HistoricalAverage::new(weeks, false, interval)));
+    }
+    for weeks in 1..=5usize {
+        out.push(Box::new(HistoricalAverage::new(weeks, true, interval)));
+    }
+
+    // Holt–Winters [6] — alpha, beta, gamma in {0.2, 0.4, 0.6, 0.8}³ = 64.
+    let grid = [0.2, 0.4, 0.6, 0.8];
+    for alpha in grid {
+        for beta in grid {
+            for gamma in grid {
+                out.push(Box::new(HoltWintersDetector::new(alpha, beta, gamma, interval)));
+            }
+        }
+    }
+
+    // SVD [7] — row = 10..50 points, column = 3, 5, 7 → 15.
+    for rows in [10usize, 20, 30, 40, 50] {
+        for cols in [3usize, 5, 7] {
+            out.push(Box::new(SvdDetector::new(rows, cols)));
+        }
+    }
+
+    // Wavelet [12] — win = 3, 5, 7 days × low/mid/high → 9.
+    for win_days in [3usize, 5, 7] {
+        for band in [Band::Low, Band::Mid, Band::High] {
+            out.push(Box::new(WaveletDetector::new(win_days, band, interval)));
+        }
+    }
+
+    // ARIMA [10] — one configuration, estimated from data.
+    out.push(Box::new(ArimaDetector::new(interval)));
+
+    debug_assert_eq!(out.len(), CONFIG_COUNT);
+    out.into_iter()
+        .enumerate()
+        .map(|(index, detector)| ConfiguredDetector { index, detector })
+        .collect()
+}
+
+/// The labels of all 133 configurations, in registry order.
+pub fn config_labels(interval: u32) -> Vec<String> {
+    registry(interval).iter().map(ConfiguredDetector::label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exactly_133_configurations() {
+        assert_eq!(registry(60).len(), CONFIG_COUNT);
+        assert_eq!(registry(3600).len(), CONFIG_COUNT);
+    }
+
+    #[test]
+    fn table3_per_detector_counts() {
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for c in registry(60) {
+            *counts.entry(c.detector.name()).or_default() += 1;
+        }
+        let expected = [
+            ("simple threshold", 1),
+            ("diff", 3),
+            ("simple MA", 5),
+            ("weighted MA", 5),
+            ("MA of diff", 5),
+            ("EWMA", 5),
+            ("TSD", 5),
+            ("TSD MAD", 5),
+            ("historical average", 5),
+            ("historical MAD", 5),
+            ("Holt-Winters", 64),
+            ("SVD", 15),
+            ("wavelet", 9),
+            ("ARIMA", 1),
+        ];
+        assert_eq!(counts.len(), 14, "14 basic detectors");
+        for (name, n) in expected {
+            assert_eq!(counts.get(name), Some(&n), "{name}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels = config_labels(60);
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate labels");
+    }
+
+    #[test]
+    fn indices_are_stable_and_sequential() {
+        let reg = registry(300);
+        for (i, c) in reg.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn all_detectors_accept_points_without_panicking() {
+        // A short smoke run over every configuration at a coarse interval.
+        let mut reg = registry(3600);
+        for i in 0..(24 * 3) {
+            let ts = i * 3600;
+            let v = if i % 11 == 0 { None } else { Some(100.0 + (i % 24) as f64) };
+            for c in reg.iter_mut() {
+                if let Some(s) = c.detector.observe(ts, v) {
+                    assert!(s.is_finite() && s >= 0.0, "{}: bad severity {s}", c.detector.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The SVD detector [7] (Table 3: row ∈ {10..50} points, column ∈ {3,5,7}).
+//!
+//! Recent data is arranged into a `row × column` lag matrix whose columns
+//! are consecutive segments, the newest segment last. Normal behaviour makes
+//! the columns strongly correlated, so the matrix is approximately rank one;
+//! the severity of the current point is its residual against the dominant
+//! singular component (the "normal subspace" of [7]).
+//!
+//! Because a full SVD per point would be wasteful, the detector extracts
+//! only the dominant component with a short power iteration on the small
+//! `column × column` Gram matrix, warm-started from the previous point's
+//! right singular vector. The exact Jacobi SVD lives in
+//! `opprentice_numeric::svd` and anchors this approximation in tests.
+
+use crate::Detector;
+use std::collections::VecDeque;
+
+/// Power-iteration steps per point (warm-started, so few are needed).
+const POWER_STEPS: usize = 4;
+
+/// The SVD reconstruction-residual detector.
+#[derive(Debug, Clone)]
+pub struct SvdDetector {
+    rows: usize,
+    cols: usize,
+    window: VecDeque<f64>,
+    /// Warm-start for the dominant right singular vector.
+    v: Vec<f64>,
+}
+
+impl SvdDetector {
+    /// Creates the detector with a `rows × cols` lag matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < 2` or `cols < 2`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "lag matrix must be at least 2x2");
+        Self {
+            rows,
+            cols,
+            window: VecDeque::with_capacity(rows * cols),
+            v: vec![1.0 / (cols as f64).sqrt(); cols],
+        }
+    }
+
+    /// Residual of the newest entry against the rank-1 approximation.
+    #[allow(clippy::needless_range_loop)] // explicit indices keep the Gram algebra readable
+    fn rank1_residual(&mut self) -> f64 {
+        let (r, c) = (self.rows, self.cols);
+        let a = |i: usize, j: usize| self.window[j * r + i];
+
+        // Gram matrix G = AᵀA (c × c).
+        let mut g = vec![0.0; c * c];
+        for j1 in 0..c {
+            for j2 in j1..c {
+                let mut dot = 0.0;
+                for i in 0..r {
+                    dot += a(i, j1) * a(i, j2);
+                }
+                g[j1 * c + j2] = dot;
+                g[j2 * c + j1] = dot;
+            }
+        }
+
+        // Power iteration on G, warm-started from the previous v.
+        let mut v = self.v.clone();
+        for _ in 0..POWER_STEPS {
+            let mut next = vec![0.0; c];
+            for (j1, n) in next.iter_mut().enumerate() {
+                for j2 in 0..c {
+                    *n += g[j1 * c + j2] * v[j2];
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-300 {
+                // Degenerate (all-zero) window: fall back to uniform.
+                next = vec![1.0 / (c as f64).sqrt(); c];
+            } else {
+                for x in &mut next {
+                    *x /= norm;
+                }
+            }
+            v = next;
+        }
+        self.v.clone_from(&v);
+
+        // u σ = A v; the rank-1 approximation of entry (i, j) is (Av)_i v_j.
+        let mut av_last = 0.0; // (A v) at the last row
+        for j in 0..c {
+            av_last += a(r - 1, j) * v[j];
+        }
+        let approx = av_last * v[c - 1];
+        (a(r - 1, c - 1) - approx).abs()
+    }
+}
+
+impl Detector for SvdDetector {
+    fn observe(&mut self, _timestamp: i64, value: Option<f64>) -> Option<f64> {
+        let v = value?;
+        self.window.push_back(v);
+        let cap = self.rows * self.cols;
+        if self.window.len() > cap {
+            self.window.pop_front();
+        }
+        (self.window.len() == cap).then(|| self.rank1_residual())
+    }
+
+    fn name(&self) -> &'static str {
+        "SVD"
+    }
+
+    fn config(&self) -> String {
+        format!("row={},column={}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_numeric::matrix::Matrix;
+    use opprentice_numeric::svd::svd as jacobi_svd;
+
+    fn feed(d: &mut SvdDetector, values: &[f64]) -> Vec<Option<f64>> {
+        values.iter().enumerate().map(|(i, &v)| d.observe(i as i64 * 60, Some(v))).collect()
+    }
+
+    #[test]
+    fn warm_up_is_rows_times_cols() {
+        let mut d = SvdDetector::new(4, 3);
+        let vals: Vec<f64> = (0..12).map(|i| (i % 4) as f64).collect();
+        let out = feed(&mut d, &vals);
+        assert!(out[..11].iter().all(Option::is_none));
+        assert!(out[11].is_some());
+    }
+
+    #[test]
+    fn periodic_signal_scores_low_spike_scores_high() {
+        // Period equal to the row count: columns are identical => rank 1.
+        let mut d = SvdDetector::new(8, 3);
+        let periodic: Vec<f64> = (0..240).map(|i| 10.0 + ((i % 8) as f64) * 2.0).collect();
+        let out = feed(&mut d, &periodic);
+        let normal = out.last().unwrap().unwrap();
+        assert!(normal < 1e-6, "normal residual {normal}");
+        let spike_sev = d.observe(240 * 60, Some(100.0)).unwrap();
+        assert!(spike_sev > 1.0, "spike residual {spike_sev}");
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi_rank1_residual() {
+        // Compare against the exact SVD on the same lag matrix.
+        let (rows, cols) = (6, 3);
+        let vals: Vec<f64> = (0..rows * cols)
+            .map(|i| 10.0 + ((i % rows) as f64) + 0.1 * ((i * 7 % 13) as f64))
+            .collect();
+        let mut d = SvdDetector::new(rows, cols);
+        let mut approx = None;
+        for (i, &v) in vals.iter().enumerate() {
+            approx = d.observe(i as i64, Some(v));
+        }
+        let approx = approx.unwrap();
+
+        let mat = Matrix::from_rows(
+            rows,
+            cols,
+            // Column-major window -> row-major matrix.
+            (0..rows * cols).map(|k| vals[(k % cols) * rows + k / cols]).collect(),
+        );
+        let dec = jacobi_svd(&mat);
+        let rec = dec.reconstruct(1);
+        let exact = (mat.get(rows - 1, cols - 1) - rec.get(rows - 1, cols - 1)).abs();
+        assert!(
+            (approx - exact).abs() < 0.05 * exact.max(0.1),
+            "power-iter {approx} vs jacobi {exact}"
+        );
+    }
+
+    #[test]
+    fn missing_points_are_skipped_without_panic() {
+        let mut d = SvdDetector::new(3, 2);
+        for i in 0..20 {
+            let v = if i % 5 == 0 { None } else { Some(i as f64) };
+            let _ = d.observe(i * 60, v);
+        }
+    }
+
+    #[test]
+    fn all_zero_window_is_degenerate_but_finite() {
+        let mut d = SvdDetector::new(3, 2);
+        let out = feed(&mut d, &[0.0; 12]);
+        let sev = out.last().unwrap().unwrap();
+        assert!(sev.is_finite());
+        assert!(sev.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_matrix_rejected() {
+        let _ = SvdDetector::new(1, 3);
+    }
+}

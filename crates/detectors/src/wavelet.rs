@@ -1,0 +1,241 @@
+//! The wavelet detector [12] (Table 3: win ∈ {3, 5, 7} days,
+//! freq ∈ {low, mid, high}).
+//!
+//! Barford et al. separate the signal into frequency bands and score how
+//! unusual the band content is. The exact Haar multiresolution analysis
+//! (`opprentice_numeric::wavelet`) would require re-transforming the whole
+//! trailing window on every point; instead the detector uses the standard
+//! streaming equivalent — a dyadic moving-average filter bank. A Haar
+//! approximation at level *l* is a moving average over `2^l` points, so the
+//! band signals are differences of moving averages:
+//!
+//! * **high** — `x − MA(short)`: sub-`short` fluctuations,
+//! * **mid** — `MA(short) − MA(medium)`: intra-day structure,
+//! * **low** — `MA(medium) − MA(win days)`: multi-day drift.
+//!
+//! The severity is the band value normalized by a running MAD of recent
+//! band values, so each band reads in robust sigmas.
+
+use crate::Detector;
+use opprentice_numeric::stats;
+use std::collections::VecDeque;
+
+/// Which frequency band the configuration extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Band {
+    /// Multi-day drift.
+    Low,
+    /// Intra-day structure.
+    Mid,
+    /// Point-scale fluctuation.
+    High,
+}
+
+impl Band {
+    fn label(self) -> &'static str {
+        match self {
+            Band::Low => "low",
+            Band::Mid => "mid",
+            Band::High => "high",
+        }
+    }
+}
+
+/// Band-value history used for the running MAD.
+const SPREAD_WINDOW: usize = 2016;
+const SPREAD_REFRESH: usize = 64;
+const MIN_SPREAD_SAMPLES: usize = 10;
+
+/// A running moving average over the last `len` present values.
+#[derive(Debug, Clone)]
+struct RunningMa {
+    len: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl RunningMa {
+    fn new(len: usize) -> Self {
+        Self { len, buf: VecDeque::with_capacity(len), sum: 0.0 }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.buf.push_back(v);
+        self.sum += v;
+        if self.buf.len() > self.len {
+            self.sum -= self.buf.pop_front().expect("non-empty");
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.buf.len() == self.len
+    }
+
+    fn mean(&self) -> f64 {
+        self.sum / self.buf.len() as f64
+    }
+}
+
+/// The streaming wavelet-band detector.
+#[derive(Debug, Clone)]
+pub struct WaveletDetector {
+    win_days: usize,
+    band: Band,
+    short: RunningMa,
+    medium: RunningMa,
+    long: RunningMa,
+    band_history: VecDeque<f64>,
+    spread: f64,
+    since_refresh: usize,
+}
+
+impl WaveletDetector {
+    /// Creates the detector at the given sampling interval. The long window
+    /// is `win_days` days; the short and medium windows are fixed dyadic
+    /// fractions of a day (capped to stay meaningful at coarse intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win_days == 0`.
+    pub fn new(win_days: usize, band: Band, interval: u32) -> Self {
+        assert!(win_days > 0, "win_days must be positive");
+        let ppd = (86_400 / i64::from(interval)) as usize;
+        let short = (ppd / 64).clamp(2, 32);
+        let medium = (ppd / 8).clamp(short + 1, 512);
+        let long = (win_days * ppd).max(medium + 1);
+        Self {
+            win_days,
+            band,
+            short: RunningMa::new(short),
+            medium: RunningMa::new(medium),
+            long: RunningMa::new(long),
+            band_history: VecDeque::with_capacity(SPREAD_WINDOW),
+            spread: 0.0,
+            since_refresh: 0,
+        }
+    }
+
+    fn refresh_spread(&mut self) {
+        let xs: Vec<f64> = self.band_history.iter().copied().collect();
+        let raw = stats::mad(&xs).unwrap_or(0.0);
+        let scale = xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        self.spread = raw.max(1e-9 * (1.0 + scale));
+    }
+}
+
+impl Detector for WaveletDetector {
+    fn observe(&mut self, _timestamp: i64, value: Option<f64>) -> Option<f64> {
+        let v = value?;
+        self.short.push(v);
+        self.medium.push(v);
+        self.long.push(v);
+        if !self.long.full() {
+            return None;
+        }
+        let band_value = match self.band {
+            Band::High => v - self.short.mean(),
+            Band::Mid => self.short.mean() - self.medium.mean(),
+            Band::Low => self.medium.mean() - self.long.mean(),
+        };
+        self.band_history.push_back(band_value);
+        if self.band_history.len() > SPREAD_WINDOW {
+            self.band_history.pop_front();
+        }
+        self.since_refresh += 1;
+        if self.spread == 0.0 || self.since_refresh >= SPREAD_REFRESH {
+            self.refresh_spread();
+            self.since_refresh = 0;
+        }
+        (self.band_history.len() >= MIN_SPREAD_SAMPLES).then(|| band_value.abs() / self.spread)
+    }
+
+    fn name(&self) -> &'static str {
+        "wavelet"
+    }
+
+    fn config(&self) -> String {
+        format!("win={} days,freq={}", self.win_days, self.band.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hourly signal: daily sine + slow weekly drift.
+    fn signal(i: i64) -> f64 {
+        let day = std::f64::consts::TAU * (i % 24) as f64 / 24.0;
+        100.0 + 10.0 * day.sin() + 0.05 * i as f64
+    }
+
+    fn run(band: Band, values: impl Iterator<Item = f64>) -> Vec<Option<f64>> {
+        let mut d = WaveletDetector::new(3, band, 3600);
+        values.enumerate().map(|(i, v)| d.observe(i as i64 * 3600, Some(v))).collect()
+    }
+
+    #[test]
+    fn warm_up_lasts_the_long_window() {
+        let out = run(Band::High, (0..(24 * 3 + 10)).map(signal));
+        let warm = 24 * 3; // 3 days at hourly interval
+        assert!(out[..warm - 1].iter().all(Option::is_none));
+        assert!(out[warm..].iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn high_band_catches_point_spikes() {
+        let n = 24 * 10;
+        let mut vals: Vec<f64> = (0..n).map(signal).collect();
+        vals.push(signal(n) + 200.0); // spike
+        let out = run(Band::High, vals.into_iter());
+        let spike_sev = out.last().unwrap().unwrap();
+        let normal: f64 = out[out.len() - 20..out.len() - 1]
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(spike_sev > 5.0 * (normal + 1.0), "{spike_sev} vs {normal}");
+    }
+
+    #[test]
+    fn low_band_catches_level_shifts_high_band_forgets_them() {
+        let n = 24 * 10;
+        let shifted: Vec<f64> = (0..n + 72).map(|i| signal(i) + if i >= n { 80.0 } else { 0.0 }).collect();
+        let low = run(Band::Low, shifted.iter().copied());
+        let high = run(Band::High, shifted.iter().copied());
+        // Two days after the shift: the low band still sees the offset
+        // (medium MA moved, long MA lags), the high band has re-centered.
+        let idx = (n + 48) as usize;
+        let low_sev = low[idx].unwrap();
+        let high_sev = high[idx].unwrap();
+        assert!(low_sev > 2.0 * high_sev, "low {low_sev} vs high {high_sev}");
+    }
+
+    #[test]
+    fn bands_have_increasing_window_order() {
+        let d = WaveletDetector::new(3, Band::Mid, 3600);
+        assert!(d.short.len < d.medium.len);
+        assert!(d.medium.len < d.long.len);
+    }
+
+    #[test]
+    fn coarse_interval_still_valid() {
+        // 60-minute interval (SRT): windows stay ordered and usable.
+        let mut d = WaveletDetector::new(3, Band::High, 3600);
+        for i in 0..(24 * 4) {
+            let _ = d.observe(i * 3600, Some(signal(i)));
+        }
+        assert!(d.observe(24 * 4 * 3600, Some(500.0)).is_some());
+    }
+
+    #[test]
+    fn missing_points_skipped() {
+        let mut d = WaveletDetector::new(3, Band::Mid, 3600);
+        for i in 0..(24 * 5) {
+            let v = if i % 9 == 0 { None } else { Some(signal(i)) };
+            let s = d.observe(i * 3600, v);
+            if v.is_none() {
+                assert_eq!(s, None);
+            }
+        }
+    }
+}

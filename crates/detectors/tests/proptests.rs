@@ -1,0 +1,124 @@
+//! Property-based tests pinning individual detectors against naive
+//! recomputations on arbitrary inputs.
+
+use opprentice_detectors::diff::{Diff, DiffLag};
+use opprentice_detectors::ewma::EwmaDetector;
+use opprentice_detectors::ma::{MaOfDiff, SimpleMa, WeightedMa};
+use opprentice_detectors::simple_threshold::SimpleThreshold;
+use opprentice_detectors::Detector;
+use proptest::prelude::*;
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e5, 5..120)
+}
+
+proptest! {
+    /// SimpleMa's severity equals |v − mean(previous w values)| once warm.
+    #[test]
+    fn simple_ma_matches_naive(values in values_strategy(), win in 1usize..10) {
+        let mut d = SimpleMa::new(win);
+        for (i, &v) in values.iter().enumerate() {
+            let got = d.observe(i as i64 * 60, Some(v));
+            if i >= win {
+                let mean: f64 = values[i - win..i].iter().sum::<f64>() / win as f64;
+                let expect = (v - mean).abs();
+                prop_assert!((got.unwrap() - expect).abs() < 1e-6, "i={i}: {got:?} vs {expect}");
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+    }
+
+    /// WeightedMa's severity matches the naive linearly-weighted mean.
+    #[test]
+    fn weighted_ma_matches_naive(values in values_strategy(), win in 1usize..8) {
+        let mut d = WeightedMa::new(win);
+        for (i, &v) in values.iter().enumerate() {
+            let got = d.observe(i as i64 * 60, Some(v));
+            if i >= win {
+                let window = &values[i - win..i];
+                let den: f64 = (1..=win).map(|w| w as f64).sum();
+                let num: f64 = window.iter().enumerate().map(|(j, &x)| (j + 1) as f64 * x).sum();
+                let expect = (v - num / den).abs();
+                prop_assert!((got.unwrap() - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// MaOfDiff equals the mean of the last w absolute slot-to-slot diffs.
+    #[test]
+    fn ma_of_diff_matches_naive(values in values_strategy(), win in 1usize..8) {
+        let mut d = MaOfDiff::new(win);
+        let diffs: Vec<f64> = values.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            let got = d.observe(i as i64 * 60, Some(v));
+            if i >= win {
+                // Diff index i-1 is the newest at point i.
+                let expect: f64 = diffs[i - win..i].iter().sum::<f64>() / win as f64;
+                prop_assert!((got.unwrap() - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Diff(last-slot) equals |v_i − v_{i−1}|.
+    #[test]
+    fn diff_matches_naive(values in values_strategy()) {
+        let mut d = Diff::new(DiffLag::LastSlot, 60);
+        for (i, &v) in values.iter().enumerate() {
+            let got = d.observe(i as i64 * 60, Some(v));
+            if i >= 1 {
+                prop_assert!((got.unwrap() - (v - values[i - 1]).abs()).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// EWMA detector equals the closed-form exponential recursion.
+    #[test]
+    fn ewma_matches_recursion(values in values_strategy(), alpha_pct in 1u32..100) {
+        let alpha = f64::from(alpha_pct) / 100.0;
+        let mut d = EwmaDetector::new(alpha);
+        let mut state: Option<f64> = None;
+        for (i, &v) in values.iter().enumerate() {
+            let got = d.observe(i as i64 * 60, Some(v));
+            match state {
+                None => {
+                    prop_assert_eq!(got, None);
+                    state = Some(v);
+                }
+                Some(s) => {
+                    prop_assert!((got.unwrap() - (v - s).abs()).abs() < 1e-9);
+                    state = Some(alpha * v + (1.0 - alpha) * s);
+                }
+            }
+        }
+    }
+
+    /// The simple threshold is exactly the identity on non-negative input.
+    #[test]
+    fn simple_threshold_is_identity(values in values_strategy()) {
+        let mut d = SimpleThreshold::new();
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(d.observe(i as i64, Some(v)), Some(v));
+        }
+    }
+
+    /// Scale equivariance: prediction-residual detectors scale linearly
+    /// with the input (no hidden absolute constants).
+    #[test]
+    fn ma_family_is_scale_equivariant(values in values_strategy(), scale in 1.0f64..100.0) {
+        let run = |xs: &[f64]| -> Vec<Option<f64>> {
+            let mut d = SimpleMa::new(5);
+            xs.iter().enumerate().map(|(i, &v)| d.observe(i as i64, Some(v))).collect()
+        };
+        let base = run(&values);
+        let scaled_input: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let scaled = run(&scaled_input);
+        for (b, s) in base.iter().zip(&scaled) {
+            match (b, s) {
+                (Some(b), Some(s)) => prop_assert!((b * scale - s).abs() < 1e-6 * scale.max(1.0) * (1.0 + b.abs())),
+                (None, None) => {}
+                _ => prop_assert!(false, "warm-up mismatch"),
+            }
+        }
+    }
+}

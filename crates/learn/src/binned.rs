@@ -1,0 +1,301 @@
+//! Histogram-binned tree construction for random forests.
+//!
+//! Exact CART re-sorts each feature at every node — O(k · n log n) per
+//! level — which is too slow for weekly retraining over months of KPI data
+//! on a small host. The standard remedy (as in gradient-boosting systems)
+//! is to pre-discretize each feature into quantile bins once per training
+//! set; a split candidate is then a bin boundary and each node costs
+//! O(k · n + k · bins). Split thresholds are mapped back to raw feature
+//! values, so trained trees classify ordinary `f64` rows.
+//!
+//! Accuracy impact is negligible here: severities are features, and a
+//! 64-quantile resolution vastly exceeds what a detector threshold needs.
+
+use crate::tree::{from_nodes, DecisionTree, Node, TreeParams};
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dataset pre-discretized into per-feature quantile bins.
+#[derive(Debug, Clone)]
+pub(crate) struct BinnedDataset {
+    n_features: usize,
+    /// Row-major bin codes; `code = #edges <= value`.
+    codes: Vec<u16>,
+    /// Per feature: ascending distinct bin edges. A split "code <= b" is
+    /// equivalent to "value < edges[b]".
+    edges: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl BinnedDataset {
+    /// Bins `data` into at most `n_bins` quantile bins per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bins < 2` or `n_bins > u16::MAX as usize`.
+    pub(crate) fn from_dataset(data: &Dataset, n_bins: usize) -> Self {
+        assert!((2..=u16::MAX as usize).contains(&n_bins), "bad bin count");
+        let n = data.len();
+        let m = data.n_features();
+        let mut edges: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for f in 0..m {
+            let mut col = data.column(f);
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            let mut e: Vec<f64> = (1..n_bins).map(|b| col[b * n / n_bins]).collect();
+            e.dedup();
+            // Drop edges equal to the global minimum: they can never split.
+            while e.first().is_some_and(|&x| x <= col[0]) {
+                e.remove(0);
+            }
+            edges.push(e);
+        }
+        let mut codes = Vec::with_capacity(n * m);
+        for i in 0..n {
+            let row = data.row(i);
+            for f in 0..m {
+                codes.push(edges[f].partition_point(|&e| e <= row[f]) as u16);
+            }
+        }
+        Self { n_features: m, codes, edges, labels: data.labels().to_vec() }
+    }
+
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    pub(crate) fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    #[inline]
+    pub(crate) fn code(&self, i: usize, f: usize) -> u16 {
+        self.codes[i * self.n_features + f]
+    }
+
+    /// Number of candidate split boundaries for feature `f`.
+    pub(crate) fn n_edges(&self, f: usize) -> usize {
+        self.edges[f].len()
+    }
+
+    /// The raw-value threshold of split boundary `b` of feature `f`.
+    pub(crate) fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.edges[f][b]
+    }
+}
+
+/// Finds the gini-optimal `(feature, boundary)` among `features`, scanning
+/// bin histograms. Returns `None` when nothing separates the node.
+pub(crate) fn best_binned_split(
+    data: &BinnedDataset,
+    indices: &[usize],
+    features: &[usize],
+    scratch: &mut Vec<[f64; 2]>,
+) -> Option<(usize, usize)> {
+    let n = indices.len() as f64;
+    let total_pos = indices.iter().filter(|&&i| data.label(i)).count() as f64;
+    let mut best: Option<(f64, usize, usize)> = None;
+
+    for &f in features {
+        let n_edges = data.n_edges(f);
+        if n_edges == 0 {
+            continue;
+        }
+        scratch.clear();
+        scratch.resize(n_edges + 1, [0.0; 2]);
+        for &i in indices {
+            scratch[data.code(i, f) as usize][data.label(i) as usize] += 1.0;
+        }
+        let mut left_n = 0.0;
+        let mut left_pos = 0.0;
+        // Candidate b: left = codes 0..=b, i.e. value < edges[b].
+        for (b, bucket) in scratch.iter().enumerate().take(n_edges) {
+            left_n += bucket[0] + bucket[1];
+            left_pos += bucket[1];
+            if left_n == 0.0 || left_n == n {
+                continue;
+            }
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let gini = |cnt: f64, pos: f64| {
+                let p = pos / cnt;
+                2.0 * p * (1.0 - p)
+            };
+            let weighted = (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+            if best.is_none_or(|(w, _, _)| weighted < w) {
+                best = Some((weighted, f, b));
+            }
+        }
+    }
+    best.map(|(_, f, b)| (f, b))
+}
+
+/// Recursive histogram-based tree builder matching the exact builder's
+/// stopping rules (purity, `min_samples_split`, depth cap, no usable split).
+#[allow(clippy::too_many_arguments)] // recursion state; a struct would add no clarity
+fn build(
+    data: &BinnedDataset,
+    params: &TreeParams,
+    nodes: &mut Vec<Node>,
+    indices: &mut [usize],
+    depth: usize,
+    rng: &mut StdRng,
+    feature_pool: &mut Vec<usize>,
+    scratch: &mut Vec<[f64; 2]>,
+) -> usize {
+    let n = indices.len();
+    let positives = indices.iter().filter(|&&i| data.label(i)).count();
+    let prob = positives as f64 / n as f64;
+
+    let depth_capped = params.max_depth.is_some_and(|d| depth >= d);
+    if positives == 0 || positives == n || n < params.min_samples_split || depth_capped {
+        nodes.push(Node::leaf(prob));
+        return nodes.len() - 1;
+    }
+
+    let m = data.n_features();
+    let k = params.max_features.unwrap_or(m).clamp(1, m);
+    if k < m {
+        feature_pool.shuffle(rng);
+    }
+    let chosen: Vec<usize> = feature_pool.iter().copied().take(k).collect();
+
+    match best_binned_split(data, indices, &chosen, scratch) {
+        None => {
+            nodes.push(Node::leaf(prob));
+            nodes.len() - 1
+        }
+        Some((feature, boundary)) => {
+            let mut mid = 0usize;
+            for i in 0..n {
+                if data.code(indices[i], feature) as usize <= boundary {
+                    indices.swap(i, mid);
+                    mid += 1;
+                }
+            }
+            if mid == 0 || mid == n {
+                // The chosen boundary did not separate this node (can happen
+                // when every sample sits on one side of every edge).
+                nodes.push(Node::leaf(prob));
+                return nodes.len() - 1;
+            }
+            let threshold = data.threshold(feature, boundary);
+            let placeholder = nodes.len();
+            nodes.push(Node::leaf(prob)); // replaced below
+            let (left_ids, right_ids) = indices.split_at_mut(mid);
+            let left = build(data, params, nodes, left_ids, depth + 1, rng, feature_pool, scratch);
+            let right = build(data, params, nodes, right_ids, depth + 1, rng, feature_pool, scratch);
+            nodes[placeholder] = Node::split(feature, threshold, left, right);
+            placeholder
+        }
+    }
+}
+
+/// Fits a tree on pre-binned data over the given row indices — the
+/// histogram entry point used by the random forest.
+pub(crate) fn fit_binned(params: TreeParams, data: &BinnedDataset, indices: &mut [usize]) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut nodes = Vec::new();
+    let mut feature_pool: Vec<usize> = (0..data.n_features()).collect();
+    let mut scratch = Vec::new();
+    build(data, &params, &mut nodes, indices, 0, &mut rng, &mut feature_pool, &mut scratch);
+    from_nodes(params, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            d.push(&[i as f64, (i % 7) as f64], i >= 60);
+        }
+        d
+    }
+
+    #[test]
+    fn codes_are_monotone_in_value() {
+        let d = toy();
+        let b = BinnedDataset::from_dataset(&d, 16);
+        for i in 1..d.len() {
+            assert!(b.code(i, 0) >= b.code(i - 1, 0));
+        }
+    }
+
+    #[test]
+    fn threshold_consistent_with_codes() {
+        let d = toy();
+        let b = BinnedDataset::from_dataset(&d, 16);
+        // For every sample and boundary: code <= b  <=>  value < threshold.
+        for i in 0..d.len() {
+            let v = d.row(i)[0];
+            for bd in 0..b.n_edges(0) {
+                let by_code = b.code(i, 0) as usize <= bd;
+                let by_value = v < b.threshold(0, bd);
+                assert_eq!(by_code, by_value, "i={i} b={bd}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_split_separates_the_classes() {
+        let d = toy();
+        let b = BinnedDataset::from_dataset(&d, 32);
+        let indices: Vec<usize> = (0..d.len()).collect();
+        let mut scratch = Vec::new();
+        let (f, bd) = best_binned_split(&b, &indices, &[0, 1], &mut scratch).unwrap();
+        assert_eq!(f, 0);
+        let t = b.threshold(f, bd);
+        assert!((55.0..=65.0).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn constant_feature_has_no_edges() {
+        let mut d = Dataset::new(1);
+        for _ in 0..50 {
+            d.push(&[5.0], false);
+        }
+        let b = BinnedDataset::from_dataset(&d, 8);
+        assert_eq!(b.n_edges(0), 0);
+        let indices: Vec<usize> = (0..50).collect();
+        let mut scratch = Vec::new();
+        assert_eq!(best_binned_split(&b, &indices, &[0], &mut scratch), None);
+    }
+
+    #[test]
+    fn binned_tree_is_pure_on_training_data() {
+        let d = toy();
+        let b = BinnedDataset::from_dataset(&d, 64);
+        let mut indices: Vec<usize> = (0..d.len()).collect();
+        let t = fit_binned(TreeParams::default(), &b, &mut indices);
+        for i in 0..d.len() {
+            assert_eq!(t.predict_proba(d.row(i)) >= 0.5, d.label(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn binned_tree_respects_depth_cap() {
+        let d = toy();
+        let b = BinnedDataset::from_dataset(&d, 64);
+        let mut indices: Vec<usize> = (0..d.len()).collect();
+        let t = fit_binned(TreeParams { max_depth: Some(2), ..Default::default() }, &b, &mut indices);
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn duplicate_heavy_feature_dedups_edges() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[if i < 90 { 0.0 } else { 1.0 }], i >= 90);
+        }
+        let b = BinnedDataset::from_dataset(&d, 16);
+        assert!(b.n_edges(0) >= 1);
+        let indices: Vec<usize> = (0..100).collect();
+        let mut scratch = Vec::new();
+        let (_, bd) = best_binned_split(&b, &indices, &[0], &mut scratch).unwrap();
+        let t = b.threshold(0, bd);
+        assert!(t > 0.0 && t <= 1.0, "threshold {t}");
+    }
+}

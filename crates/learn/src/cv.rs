@@ -1,0 +1,91 @@
+//! Contiguous k-fold splits.
+//!
+//! §4.5.2's baseline cThld predictor: "a historical training set is divided
+//! into k subsets of the same length. In each test (k tests in total), a
+//! classifier is trained using k−1 of the subsets and tested on the rest
+//! one with a cThld candidate." Folds are *contiguous* because the data is
+//! a time series — shuffling points across time would leak seasonal
+//! context between train and test.
+
+/// One train/test split: row ranges into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Row indices of the training portion.
+    pub train: Vec<usize>,
+    /// Row indices of the held-out portion (one contiguous block).
+    pub test: std::ops::Range<usize>,
+}
+
+/// Splits `n` samples into `k` contiguous folds. Earlier folds absorb the
+/// remainder, so fold sizes differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn k_fold(n: usize, k: usize) -> Vec<Fold> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "more folds than samples");
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let test = start..start + len;
+        let train = (0..n).filter(|i| !test.contains(i)).collect();
+        folds.push(Fold { train, test });
+        start += len;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_the_data() {
+        let folds = k_fold(103, 5);
+        assert_eq!(folds.len(), 5);
+        let mut covered = [false; 103];
+        for f in &folds {
+            for i in f.test.clone() {
+                assert!(!covered[i], "index {i} in two test folds");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = k_fold(103, 5);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 20 || s == 21));
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        for f in k_fold(50, 5) {
+            assert_eq!(f.train.len() + f.test.len(), 50);
+            for &i in &f.train {
+                assert!(!f.test.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn test_blocks_are_contiguous_and_ordered() {
+        let folds = k_fold(60, 4);
+        for w in folds.windows(2) {
+            assert_eq!(w[0].test.end, w[1].test.start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_rejected() {
+        let _ = k_fold(3, 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Compact binary persistence for trained models.
+//!
+//! A deployed Opprentice instance retrains weekly (§4.1) but must survive
+//! process restarts without waiting a week — so trained forests can be
+//! saved and restored. The format is a small custom binary layout (the
+//! workspace deliberately avoids general serialization frameworks for model
+//! weights):
+//!
+//! ```text
+//! magic "OPRF" | version u16 | n_trees u32
+//! per tree:  n_nodes u32
+//! per node:  tag u8 — 0 = leaf { prob f64 }
+//!                     1 = split { feature u32, threshold f64, left u32, right u32 }
+//! ```
+//!
+//! All integers are little-endian. Loading validates the magic, version,
+//! tags and node links.
+
+use crate::forest::RandomForest;
+use crate::tree::{from_nodes, DecisionTree, Node, TreeParams};
+use bytes::{Buf, BufMut};
+
+const MAGIC: &[u8; 4] = b"OPRF";
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The magic bytes did not match.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// An unknown node tag was encountered.
+    BadTag(u8),
+    /// A split node referenced a node index out of range.
+    BadLink(u32),
+    /// A tree contained no nodes.
+    EmptyTree,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "buffer truncated"),
+            PersistError::BadMagic => write!(f, "bad magic bytes"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::BadTag(t) => write!(f, "unknown node tag {t}"),
+            PersistError::BadLink(i) => write!(f, "node link {i} out of range"),
+            PersistError::EmptyTree => write!(f, "tree with no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn encode_tree(tree: &DecisionTree, out: &mut Vec<u8>) {
+    let nodes = tree.nodes();
+    out.put_u32_le(nodes.len() as u32);
+    for node in nodes {
+        match node {
+            Node::Leaf { prob } => {
+                out.put_u8(0);
+                out.put_f64_le(*prob);
+            }
+            Node::Split { feature, threshold, left, right } => {
+                out.put_u8(1);
+                out.put_u32_le(*feature as u32);
+                out.put_f64_le(*threshold);
+                out.put_u32_le(*left as u32);
+                out.put_u32_le(*right as u32);
+            }
+        }
+    }
+}
+
+fn decode_tree(buf: &mut &[u8]) -> Result<DecisionTree, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let n_nodes = buf.get_u32_le() as usize;
+    if n_nodes == 0 {
+        return Err(PersistError::EmptyTree);
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        if buf.remaining() < 1 {
+            return Err(PersistError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 8 {
+                    return Err(PersistError::Truncated);
+                }
+                nodes.push(Node::leaf(buf.get_f64_le()));
+            }
+            1 => {
+                if buf.remaining() < 4 + 8 + 4 + 4 {
+                    return Err(PersistError::Truncated);
+                }
+                let feature = buf.get_u32_le() as usize;
+                let threshold = buf.get_f64_le();
+                let left = buf.get_u32_le();
+                let right = buf.get_u32_le();
+                for link in [left, right] {
+                    if link as usize >= n_nodes {
+                        return Err(PersistError::BadLink(link));
+                    }
+                }
+                nodes.push(Node::split(feature, threshold, left as usize, right as usize));
+            }
+            t => return Err(PersistError::BadTag(t)),
+        }
+    }
+    Ok(from_nodes(TreeParams::default(), nodes))
+}
+
+impl RandomForest {
+    /// Serializes the trained trees to the compact binary format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest has not been fitted.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.tree_count() > 0, "forest not fitted");
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u32_le(self.tree_count() as u32);
+        for tree in self.trees() {
+            encode_tree(tree, &mut out);
+        }
+        out
+    }
+
+    /// Restores a forest from [`RandomForest::to_bytes`] output. The
+    /// restored forest scores identically to the original; refitting it
+    /// uses default hyperparameters.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<RandomForest, PersistError> {
+        if buf.remaining() < 4 + 2 + 4 {
+            return Err(PersistError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let n_trees = buf.get_u32_le() as usize;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            trees.push(decode_tree(&mut buf)?);
+        }
+        Ok(RandomForest::from_trees(trees))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestParams;
+    use crate::{Classifier, Dataset};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_forest() -> (RandomForest, Dataset) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut d = Dataset::new(3);
+        for _ in 0..400 {
+            let row = [rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)];
+            d.push(&row, row[0] + row[1] > 10.0);
+        }
+        let mut f = RandomForest::new(RandomForestParams { n_trees: 9, ..Default::default() });
+        f.fit(&d);
+        (f, d)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (forest, data) = trained_forest();
+        let bytes = forest.to_bytes();
+        let restored = RandomForest::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.tree_count(), forest.tree_count());
+        for i in 0..data.len() {
+            assert_eq!(
+                forest.predict_proba(data.row(i)),
+                restored.predict_proba(data.row(i)),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (forest, _) = trained_forest();
+        let mut bytes = forest.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(RandomForest::from_bytes(&bytes).err(), Some(PersistError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (forest, _) = trained_forest();
+        let mut bytes = forest.to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            RandomForest::from_bytes(&bytes),
+            Err(PersistError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let (forest, _) = trained_forest();
+        let bytes = forest.to_bytes();
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(RandomForest::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let (forest, _) = trained_forest();
+        let mut bytes = forest.to_bytes();
+        // First node tag lives right after header + first tree's node count.
+        let idx = 4 + 2 + 4 + 4;
+        bytes[idx] = 7;
+        assert_eq!(RandomForest::from_bytes(&bytes).err(), Some(PersistError::BadTag(7)));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert_eq!(PersistError::Truncated.to_string(), "buffer truncated");
+        assert!(PersistError::BadLink(9).to_string().contains('9'));
+    }
+}

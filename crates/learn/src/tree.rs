@@ -1,0 +1,382 @@
+//! CART decision trees with gini impurity (§4.4.2's preliminaries).
+//!
+//! "The tree is greedily built top-down. At each level, it determines the
+//! best feature and its split point to separate the data into distinct
+//! classes as much as possible … The tree grows in this way until every
+//! leaf node is pure (fully grown)."
+//!
+//! For random forests the builder additionally evaluates only a random
+//! subset of features per node ("instead of evaluating all the features at
+//! each level, the trees only consider a random subset of the features each
+//! time"), and trees stay fully grown without pruning. As a standalone
+//! baseline (§5.3.2) the tree uses all features and is also fully grown —
+//! exactly the overfitting-prone configuration the paper contrasts with
+//! forests.
+
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tree-building parameters.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Features evaluated per node (`None` = all — the plain CART baseline).
+    pub max_features: Option<usize>,
+    /// Depth cap (`None` = fully grown).
+    pub max_depth: Option<usize>,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// RNG seed for feature subsetting.
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_features: None, max_depth: None, min_samples_split: 2, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Leaf {
+        /// Fraction of anomalous training samples in the leaf.
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `< threshold` child.
+        left: usize,
+        /// Index of the `>= threshold` child.
+        right: usize,
+    },
+}
+
+impl Node {
+    /// A leaf with the given anomaly probability.
+    pub(crate) fn leaf(prob: f64) -> Self {
+        Node::Leaf { prob }
+    }
+
+    /// An internal split node.
+    pub(crate) fn split(feature: usize, threshold: f64, left: usize, right: usize) -> Self {
+        Node::Split { feature, threshold, left, right }
+    }
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, nodes: Vec::new() }
+    }
+
+    /// Anomaly probability of one sample: the anomaly fraction of the leaf
+    /// the sample falls into.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "tree not fitted");
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if features[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node arena (for persistence).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Maximum depth of the trained tree.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Renders the tree as indented if-then rules, naming features with
+    /// `feature_names` — the Fig. 5 "decision tree example" output.
+    pub fn render(&self, feature_names: &[String]) -> String {
+        fn walk(nodes: &[Node], i: usize, names: &[String], indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match &nodes[i] {
+                Node::Leaf { prob } => {
+                    let verdict = if *prob >= 0.5 { "Anomaly" } else { "Normal" };
+                    out.push_str(&format!("{pad}=> {verdict} (p={prob:.2})\n"));
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    let name = names.get(*feature).cloned().unwrap_or_else(|| format!("f{feature}"));
+                    out.push_str(&format!("{pad}if severity[{name}] < {threshold:.3}:\n"));
+                    walk(nodes, *left, names, indent + 1, out);
+                    out.push_str(&format!("{pad}else:\n"));
+                    walk(nodes, *right, names, indent + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.nodes.is_empty() {
+            walk(&self.nodes, 0, feature_names, 0, &mut out);
+        }
+        out
+    }
+
+    fn build(&mut self, data: &Dataset, indices: &mut [usize], depth: usize, rng: &mut StdRng) -> usize {
+        let positives = indices.iter().filter(|&&i| data.label(i)).count();
+        let n = indices.len();
+        let prob = positives as f64 / n as f64;
+
+        let depth_capped = self.params.max_depth.is_some_and(|d| depth >= d);
+        if positives == 0 || positives == n || n < self.params.min_samples_split || depth_capped {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        }
+
+        match best_split(data, indices, self.params.max_features, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { prob });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                // Partition indices in place: left = < threshold.
+                let mut mid = 0usize;
+                for i in 0..n {
+                    if data.row(indices[i])[feature] < threshold {
+                        indices.swap(i, mid);
+                        mid += 1;
+                    }
+                }
+                debug_assert!(mid > 0 && mid < n, "degenerate split");
+                let placeholder = self.nodes.len();
+                self.nodes.push(Node::Leaf { prob }); // replaced below
+                let (left_ids, right_ids) = indices.split_at_mut(mid);
+                let left = self.build(data, left_ids, depth + 1, rng);
+                let right = self.build(data, right_ids, depth + 1, rng);
+                self.nodes[placeholder] = Node::Split { feature, threshold, left, right };
+                placeholder
+            }
+        }
+    }
+}
+
+/// Finds the gini-optimal `(feature, threshold)` over a random feature
+/// subset. Returns `None` when no feature separates the samples.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    max_features: Option<usize>,
+    rng: &mut StdRng,
+) -> Option<(usize, f64)> {
+    let m = data.n_features();
+    let mut feature_order: Vec<usize> = (0..m).collect();
+    let k = max_features.unwrap_or(m).clamp(1, m);
+    if k < m {
+        feature_order.shuffle(rng);
+    }
+
+    let n = indices.len() as f64;
+    let total_pos = indices.iter().filter(|&&i| data.label(i)).count() as f64;
+
+    let mut best: Option<(f64, usize, f64)> = None; // (weighted gini, feature, threshold)
+    let mut pairs: Vec<(f64, bool)> = Vec::with_capacity(indices.len());
+
+    for &feature in feature_order.iter().take(k) {
+        pairs.clear();
+        pairs.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+
+        let mut left_n = 0.0;
+        let mut left_pos = 0.0;
+        for w in 0..pairs.len() - 1 {
+            left_n += 1.0;
+            if pairs[w].1 {
+                left_pos += 1.0;
+            }
+            // Split only between distinct values.
+            if pairs[w].0 == pairs[w + 1].0 {
+                continue;
+            }
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let gini = |cnt: f64, pos: f64| {
+                let p = pos / cnt;
+                2.0 * p * (1.0 - p)
+            };
+            let weighted = (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+            if best.is_none_or(|(b, _, _)| weighted < b) {
+                let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                best = Some((weighted, feature, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty training set");
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        self.build(data, &mut indices, 0, &mut rng);
+    }
+
+    fn score(&self, features: &[f64]) -> f64 {
+        self.predict_proba(features)
+    }
+
+    fn name(&self) -> &'static str {
+        "decision tree"
+    }
+}
+
+/// Fits a tree on (a bootstrap of) the dataset using the given row indices —
+/// the exact-split entry point used by the random forest.
+pub(crate) fn fit_on_indices(params: TreeParams, data: &Dataset, indices: &mut [usize]) -> DecisionTree {
+    let mut tree = DecisionTree::new(params);
+    let mut rng = StdRng::seed_from_u64(tree.params.seed);
+    tree.build(data, indices, 0, &mut rng);
+    tree
+}
+
+/// Assembles a tree from pre-built nodes (used by the histogram builder).
+pub(crate) fn from_nodes(params: TreeParams, nodes: Vec<Node>) -> DecisionTree {
+    DecisionTree { params, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy set: anomaly iff feature0 > 5.
+    fn separable() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            let x = i as f64;
+            d.push(&[x, (i % 3) as f64], x > 5.0);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_separable_concept() {
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&separable());
+        assert_eq!(t.predict_proba(&[2.0, 0.0]), 0.0);
+        assert_eq!(t.predict_proba(&[9.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn fully_grown_tree_is_pure_on_training_data() {
+        let d = separable();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        for i in 0..d.len() {
+            let p = t.predict_proba(d.row(i));
+            assert_eq!(p >= 0.5, d.label(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let d = separable();
+        let mut t = DecisionTree::new(TreeParams { max_depth: Some(1), ..Default::default() });
+        t.fit(&d);
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let mut d = Dataset::new(1);
+        for i in 0..5 {
+            d.push(&[i as f64], false);
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_proba(&[100.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_features_yield_prior_leaf() {
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], true);
+        d.push(&[1.0], false);
+        d.push(&[1.0], false);
+        d.push(&[1.0], false);
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict_proba(&[1.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_concept_needs_depth_two() {
+        // XOR of two binary features: not linearly separable, but a depth-2
+        // tree nails it.
+        let mut d = Dataset::new(2);
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..5 {
+                d.push(&[a, b], (a > 0.5) != (b > 0.5));
+            }
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        assert_eq!(t.predict_proba(&[0.0, 1.0]), 1.0);
+        assert_eq!(t.predict_proba(&[1.0, 1.0]), 0.0);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn render_mentions_feature_names() {
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&separable());
+        let txt = t.render(&["TSD".to_string(), "diff".to_string()]);
+        assert!(txt.contains("severity[TSD]"), "{txt}");
+        assert!(txt.contains("Anomaly"));
+        assert!(txt.contains("Normal"));
+    }
+
+    #[test]
+    fn feature_subset_of_one_still_learns_something() {
+        let mut t = DecisionTree::new(TreeParams { max_features: Some(1), seed: 3, ..Default::default() });
+        let d = separable();
+        t.fit(&d);
+        // With only f0 informative and random subsets, the tree may need
+        // several levels, but training accuracy must still be perfect
+        // (fully grown).
+        for i in 0..d.len() {
+            assert_eq!(t.predict_proba(d.row(i)) >= 0.5, d.label(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tree not fitted")]
+    fn predict_before_fit_panics() {
+        let t = DecisionTree::new(TreeParams::default());
+        let _ = t.predict_proba(&[0.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the learning substrate.
+
+use opprentice_learn::feature_select::mutual_information;
+use opprentice_learn::metrics::{auc_pr, auc_pr_of, f_score, pr_curve};
+use opprentice_learn::tree::{DecisionTree, TreeParams};
+use opprentice_learn::{Classifier, Dataset, RandomForest, RandomForestParams};
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..200)
+        .prop_filter("needs a positive", |v| v.iter().any(|(_, l)| *l))
+}
+
+proptest! {
+    /// PR curves: thresholds strictly descending, recall non-decreasing,
+    /// final recall 1, precision in (0, 1], AUCPR in [0, 1].
+    #[test]
+    fn pr_curve_invariants(data in scored_labels()) {
+        let scores: Vec<Option<f64>> = data.iter().map(|(s, _)| Some(*s)).collect();
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let curve = pr_curve(&scores, &labels);
+        prop_assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            prop_assert!(w[0].threshold > w[1].threshold);
+            prop_assert!(w[0].recall <= w[1].recall);
+        }
+        prop_assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12);
+        for p in &curve {
+            prop_assert!((0.0..=1.0).contains(&p.precision));
+            prop_assert!((0.0..=1.0).contains(&p.recall));
+        }
+        let auc = auc_pr(&curve);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+    }
+
+    /// A strictly better scorer never has lower AUCPR: moving every
+    /// positive's score up cannot hurt.
+    #[test]
+    fn auc_improves_when_positives_score_higher(data in scored_labels()) {
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let base: Vec<Option<f64>> = data.iter().map(|(s, _)| Some(*s)).collect();
+        let boosted: Vec<Option<f64>> = data
+            .iter()
+            .map(|(s, l)| Some(if *l { s + 2.0 } else { *s }))
+            .collect();
+        prop_assert!(auc_pr_of(&boosted, &labels) + 1e-12 >= auc_pr_of(&base, &labels));
+    }
+
+    /// F-Score is symmetric, bounded by its arguments and by 1.
+    #[test]
+    fn f_score_properties(r in 0.0f64..=1.0, p in 0.0f64..=1.0) {
+        let f = f_score(r, p);
+        prop_assert!((f_score(p, r) - f).abs() < 1e-12);
+        prop_assert!(f <= 1.0 + 1e-12);
+        prop_assert!(f <= (r.max(p)) + 1e-12);
+        prop_assert!(f >= 0.0);
+        if r > 0.0 && p > 0.0 {
+            prop_assert!(f >= r.min(p) * 2.0 / 2.0 - 1e-12); // harmonic mean >= min/1 bound sanity
+        }
+    }
+
+    /// Mutual information is non-negative and bounded by the label entropy.
+    #[test]
+    fn mi_bounds(data in prop::collection::vec((0.0f64..100.0, any::<bool>()), 10..300)) {
+        let values: Vec<f64> = data.iter().map(|(v, _)| *v).collect();
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let mi = mutual_information(&values, &labels);
+        prop_assert!(mi >= 0.0);
+        let p = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        let h = if p == 0.0 || p == 1.0 { 0.0 } else { -p * p.ln() - (1.0 - p) * (1.0 - p).ln() };
+        prop_assert!(mi <= h + 1e-9, "MI {mi} exceeds H(Y) {h}");
+    }
+
+    /// A fully grown tree is consistent on its own training data whenever
+    /// the samples are separable (no two identical rows with different
+    /// labels in this construction).
+    #[test]
+    fn tree_fits_training_data(
+        rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..80),
+    ) {
+        let mut d = Dataset::new(2);
+        for (a, b) in &rows {
+            d.push(&[*a, *b], a + b > 100.0);
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        for i in 0..d.len() {
+            prop_assert_eq!(t.predict_proba(d.row(i)) >= 0.5, d.label(i), "row {}", i);
+        }
+    }
+
+    /// Forest probabilities live in [0, 1] for arbitrary queries.
+    #[test]
+    fn forest_probability_bounds(
+        rows in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 20..60),
+        probe in prop::collection::vec(-100.0f64..100.0, 2..=2),
+    ) {
+        let mut d = Dataset::new(2);
+        for (i, (a, b)) in rows.iter().enumerate() {
+            d.push(&[*a, *b], i % 3 == 0);
+        }
+        let mut f = RandomForest::new(RandomForestParams { n_trees: 7, ..Default::default() });
+        f.fit(&d);
+        let p = f.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Persistence round-trip agrees everywhere we probe.
+        let restored = RandomForest::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(restored.predict_proba(&probe), p);
+    }
+
+    /// Dataset subsetting and column selection commute with row access.
+    #[test]
+    fn dataset_views_consistent(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3..=3), 2..40),
+    ) {
+        let mut d = Dataset::new(3);
+        for (i, r) in rows.iter().enumerate() {
+            d.push(r, i % 2 == 0);
+        }
+        let idx: Vec<usize> = (0..d.len()).step_by(2).collect();
+        let sub = d.subset(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(sub.row(k), d.row(i));
+            prop_assert_eq!(sub.label(k), d.label(i));
+        }
+        let proj = d.select_features(&[2, 0]);
+        for i in 0..d.len() {
+            prop_assert_eq!(proj.row(i), &[d.row(i)[2], d.row(i)[0]]);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Autocorrelation, partial autocorrelation (Durbin–Levinson) and
+//! Yule–Walker autoregressive fits — the estimation substrate for the ARIMA
+//! detector's "estimate the best parameters from the data" step (§4.3.3).
+
+/// Sample autocorrelation function for lags `0..=max_lag`.
+/// `acf[0]` is always 1 (when variance is nonzero). Returns `None` for an
+/// empty series or zero variance.
+pub fn acf(xs: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if c0 == 0.0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag.min(n - 1) {
+        let c: f64 = (lag..n).map(|i| (xs[i] - mean) * (xs[i - lag] - mean)).sum::<f64>() / n as f64;
+        out.push(c / c0);
+    }
+    Some(out)
+}
+
+/// Partial autocorrelation function for lags `1..=max_lag`, computed with
+/// the Durbin–Levinson recursion on the sample ACF.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let rho = acf(xs, max_lag)?;
+    let max_lag = rho.len() - 1;
+    if max_lag == 0 {
+        return Some(Vec::new());
+    }
+    let mut pacf_vals = Vec::with_capacity(max_lag);
+    // phi[k][j]: AR(k) coefficient j (1-based lags flattened into Vec).
+    let mut phi_prev = vec![0.0; max_lag + 1];
+    let mut phi_cur = vec![0.0; max_lag + 1];
+    phi_prev[1] = rho[1];
+    pacf_vals.push(rho[1]);
+    for k in 2..=max_lag {
+        let num = rho[k] - (1..k).map(|j| phi_prev[j] * rho[k - j]).sum::<f64>();
+        let den = 1.0 - (1..k).map(|j| phi_prev[j] * rho[j]).sum::<f64>();
+        let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        pacf_vals.push(phi_kk);
+        for j in 1..k {
+            phi_cur[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+        }
+        phi_cur[k] = phi_kk;
+        phi_prev[..=k].copy_from_slice(&phi_cur[..=k]);
+    }
+    Some(pacf_vals)
+}
+
+/// Fits an AR(p) model by Yule–Walker (via Durbin–Levinson). Returns the AR
+/// coefficients `phi[0..p]` (for lags 1..=p) and the innovation variance.
+pub fn yule_walker(xs: &[f64], p: usize) -> Option<(Vec<f64>, f64)> {
+    if p == 0 {
+        let n = xs.len();
+        if n == 0 {
+            return None;
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        return Some((Vec::new(), var));
+    }
+    let rho = acf(xs, p)?;
+    if rho.len() <= p {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+
+    let mut phi = vec![0.0; p + 1];
+    let mut v = c0;
+    phi[1] = rho[1];
+    v *= 1.0 - rho[1] * rho[1];
+    let mut tmp = vec![0.0; p + 1];
+    for k in 2..=p {
+        let num = rho[k] - (1..k).map(|j| phi[j] * rho[k - j]).sum::<f64>();
+        let den_terms: f64 = (1..k).map(|j| phi[j] * rho[j]).sum();
+        let den = 1.0 - den_terms;
+        let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        for j in 1..k {
+            tmp[j] = phi[j] - phi_kk * phi[k - j];
+        }
+        tmp[k] = phi_kk;
+        phi[1..=k].copy_from_slice(&tmp[1..=k]);
+        v *= 1.0 - phi_kk * phi_kk;
+    }
+    Some((phi[1..=p].to_vec(), v.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic AR(1) driver with pseudo-random innovations.
+    fn ar1_series(phi: f64, n: usize) -> Vec<f64> {
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..n {
+            // xorshift noise mapped to roughly N(0,1) via sum of uniforms.
+            let mut acc = 0.0;
+            for _ in 0..12 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                acc += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            let eps = acc - 6.0;
+            x = phi * x + eps;
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let xs = ar1_series(0.5, 500);
+        let a = acf(&xs, 5).unwrap();
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_of_ar1_decays_geometrically() {
+        let xs = ar1_series(0.7, 20_000);
+        let a = acf(&xs, 3).unwrap();
+        assert!((a[1] - 0.7).abs() < 0.05, "lag1 {}", a[1]);
+        assert!((a[2] - 0.49).abs() < 0.07, "lag2 {}", a[2]);
+    }
+
+    #[test]
+    fn acf_rejects_constant() {
+        assert_eq!(acf(&[3.0; 10], 2), None);
+        assert_eq!(acf(&[], 2), None);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag1() {
+        let xs = ar1_series(0.7, 20_000);
+        let p = pacf(&xs, 4).unwrap();
+        assert!((p[0] - 0.7).abs() < 0.05, "pacf1 {}", p[0]);
+        for (i, &v) in p[1..].iter().enumerate() {
+            assert!(v.abs() < 0.06, "pacf lag {} = {v}", i + 2);
+        }
+    }
+
+    #[test]
+    fn yule_walker_recovers_ar1_coefficient() {
+        let xs = ar1_series(0.6, 20_000);
+        let (phi, var) = yule_walker(&xs, 1).unwrap();
+        assert!((phi[0] - 0.6).abs() < 0.05, "phi {}", phi[0]);
+        assert!(var > 0.0);
+    }
+
+    #[test]
+    fn yule_walker_higher_order_near_zero_extra_coeffs() {
+        let xs = ar1_series(0.6, 20_000);
+        let (phi, _) = yule_walker(&xs, 3).unwrap();
+        assert!((phi[0] - 0.6).abs() < 0.06);
+        assert!(phi[1].abs() < 0.06);
+        assert!(phi[2].abs() < 0.06);
+    }
+
+    #[test]
+    fn yule_walker_order_zero_returns_variance() {
+        let xs = [1.0, 3.0, 1.0, 3.0];
+        let (phi, var) = yule_walker(&xs, 0).unwrap();
+        assert!(phi.is_empty());
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+}

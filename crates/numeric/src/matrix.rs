@@ -1,0 +1,284 @@
+//! A small dense row-major matrix with the linear algebra the detectors and
+//! learners need: products, transpose, and linear solves via Gaussian
+//! elimination with partial pivoting.
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` copied out.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * out.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// The raw row-major backing data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Solves the square system `a x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` if `a` is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "solve requires a square matrix");
+    assert_eq!(b.len(), a.rows(), "rhs dimension mismatch");
+    // A system contaminated by non-finite values has no trustworthy
+    // solution; report it as singular rather than panicking mid-pivot.
+    if a.data().iter().chain(b).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = a.rows();
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("NaN in solve")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        // Eliminate below.
+        for r in col + 1..n {
+            let f = m[r][col] / m[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..=n {
+                m[r][c] -= f * m[col][c];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = m[r][n];
+        for c in r + 1..n {
+            acc -= m[r][c] * x[c];
+        }
+        x[r] = acc / m[r][r];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `||X beta − y||²` via the
+/// normal equations with a small ridge term for conditioning. Returns `None`
+/// when the system is degenerate.
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(y.len(), x.rows(), "dimension mismatch");
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x);
+    let p = xtx.rows();
+    // Tiny ridge keeps near-collinear detector features solvable.
+    for i in 0..p {
+        let v = xtx.get(i, i);
+        xtx.set(i, i, v + 1e-8);
+    }
+    let xty = xt.matvec(y);
+    solve(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_row_col() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.col(2), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_rows(2, 2, vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![19., 22., 43., 50.]));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(2, 3, vec![1., 0., 2., 0., 1., 3.]);
+        assert_eq!(a.matvec(&[1.0, 2.0, 3.0]), vec![7.0, 11.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + y = 3; 2x - y = 0 => x = 1, y = 2.
+        let a = Matrix::from_rows(2, 2, vec![1., 1., 2., -1.]);
+        let x = solve(&a, &[3.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_with_nan_returns_none() {
+        let a = Matrix::from_rows(2, 2, vec![1., f64::NAN, 0., 1.]);
+        assert_eq!(solve(&a, &[1.0, 1.0]), None);
+        let b = Matrix::from_rows(1, 1, vec![1.0]);
+        assert_eq!(solve(&b, &[f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_rows(2, 2, vec![1., 2., 2., 4.]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2x + 1 with exact data.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut m = Matrix::zeros(4, 2);
+        for (i, &x) in xs.iter().enumerate() {
+            m.set(i, 0, 1.0);
+            m.set(i, 1, x);
+        }
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let beta = least_squares(&m, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-4);
+        assert!((beta[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = Matrix::from_rows(2, 2, vec![3., 0., 0., 4.]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

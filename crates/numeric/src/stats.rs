@@ -1,0 +1,179 @@
+//! Basic statistics: moments, order statistics, MAD, Welford online moments.
+//!
+//! `NaN` inputs are the caller's responsibility unless a function documents
+//! otherwise — the detector layer filters missing points before reaching
+//! these primitives.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance. Returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two middle elements for even lengths).
+/// Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+/// Median absolute deviation around the median, scaled by 1.4826 so that it
+/// estimates σ for Gaussian data. The paper's MAD detector variants (§5.2)
+/// use this to stay robust to dirty data [3, 15].
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let med = median(xs)?;
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations).map(|m| m * 1.4826)
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`. Returns `None` for an
+/// empty slice or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// Detectors that maintain Gaussian baselines over sliding windows use this
+/// to avoid re-summing the window on every point.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Current population variance, or `None` before any observation.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Current population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn mad_estimates_sigma_for_symmetric_data() {
+        // MAD of {1..9} around median 5 is 2; scaled: 2.9652.
+        let xs: Vec<f64> = (1..=9).map(f64::from).collect();
+        assert!((mad(&xs).unwrap() - 2.0 * 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let clean: Vec<f64> = (1..=9).map(f64::from).collect();
+        let mut dirty = clean.clone();
+        dirty[8] = 1e9;
+        // Std blows up, MAD barely moves.
+        assert!(std_dev(&dirty).unwrap() > 1e6);
+        assert!((mad(&dirty).unwrap() - mad(&clean).unwrap()).abs() < 1.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        assert_eq!(quantile(&xs, 0.5), Some(25.0));
+        assert_eq!(quantile(&xs, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.variance().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance(), None);
+    }
+}

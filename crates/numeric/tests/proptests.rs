@@ -1,0 +1,106 @@
+//! Property-based tests for the numeric substrate.
+
+use opprentice_numeric::matrix::{solve, Matrix};
+use opprentice_numeric::stats::{mean, median, quantile, std_dev, Welford};
+use opprentice_numeric::svd::svd;
+use opprentice_numeric::wavelet::mra_haar;
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    /// Welford's streaming moments agree with the batch formulas.
+    #[test]
+    fn welford_matches_batch(xs in finite_vec(200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let scale = std_dev(&xs).unwrap().max(1.0);
+        prop_assert!((w.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-6 * scale.max(mean(&xs).unwrap().abs()));
+        prop_assert!((w.std_dev().unwrap() - std_dev(&xs).unwrap()).abs() < 1e-6 * scale);
+    }
+
+    /// The median is bounded by min and max and splits the data evenly.
+    #[test]
+    fn median_is_central(xs in finite_vec(200)) {
+        let med = median(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(med >= lo && med <= hi);
+        let below = xs.iter().filter(|&&x| x < med).count();
+        let above = xs.iter().filter(|&&x| x > med).count();
+        prop_assert!(below <= xs.len() / 2);
+        prop_assert!(above <= xs.len() / 2);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantile_monotone(xs in finite_vec(100), qs in prop::collection::vec(0.0f64..=1.0, 2..10)) {
+        let mut sorted_q = qs.clone();
+        sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let vals: Vec<f64> = sorted_q.iter().map(|&q| quantile(&xs, q).unwrap()).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    /// Full-rank SVD reconstruction reproduces the matrix.
+    #[test]
+    fn svd_reconstructs(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in any::<u32>(),
+    ) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| (((i as u64 + 1) * (seed as u64 + 1)).wrapping_mul(2654435761) % 1000) as f64 / 100.0 - 5.0)
+            .collect();
+        let a = Matrix::from_rows(rows, cols, data);
+        let d = svd(&a);
+        let r = d.reconstruct(rows.min(cols));
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert!((a.get(i, j) - r.get(i, j)).abs() < 1e-6,
+                    "({i},{j}): {} vs {}", a.get(i, j), r.get(i, j));
+            }
+        }
+        // Singular values sorted descending and non-negative.
+        for w in d.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(d.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    /// Haar MRA bands always sum back to the signal, any length.
+    #[test]
+    fn mra_perfect_reconstruction(xs in finite_vec(257), levels in 1usize..6) {
+        let mra = mra_haar(&xs, levels);
+        let sum = mra.band(1, mra.levels(), true);
+        let scale = xs.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for (i, (s, x)) in sum.iter().zip(&xs).enumerate() {
+            prop_assert!((s - x).abs() < 1e-8 * scale, "index {i}: {s} vs {x}");
+        }
+    }
+
+    /// solve() returns a genuine solution when it returns at all.
+    #[test]
+    fn solve_satisfies_system(
+        n in 1usize..6,
+        seed in any::<u32>(),
+    ) {
+        let data: Vec<f64> = (0..n * n)
+            .map(|i| (((i as u64 + 7) * (seed as u64 + 3)).wrapping_mul(0x9E3779B97F4A7C15) % 2000) as f64 / 100.0 - 10.0)
+            .collect();
+        let a = Matrix::from_rows(n, n, data);
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        if let Some(x) = solve(&a, &b) {
+            let ax = a.matvec(&x);
+            let scale = a.frobenius_norm().max(1.0) * x.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            for i in 0..n {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-6 * scale, "row {i}: {} vs {}", ax[i], b[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A TCP service exposing the Opprentice pipeline over a line protocol.
+//!
+//! The paper's system ran as an online service beside the monitored search
+//! engine (§5.8 sizes its detection lag against the 1-minute data
+//! interval). This crate provides that deployment shape: monitoring agents
+//! stream `(timestamp, value)` points over TCP, receive verdicts inline,
+//! and push operator labels after each weekly labeling session.
+//!
+//! Design notes (per the project's networking guides): the workload is
+//! CPU-bound (feature extraction + forest inference) with a handful of
+//! long-lived connections — exactly the case where an async runtime buys
+//! nothing, so the server is plain `std::net` with one thread per
+//! connection and a clean shutdown path. The protocol is line-based and
+//! telnet-friendly; framing is newline, encoding is ASCII.
+//!
+//! ## Protocol
+//!
+//! Each connection monitors one KPI. Requests are single lines; responses
+//! are single lines starting with `OK`, `ERR` or `BYE`.
+//!
+//! ```text
+//! HELLO <interval_seconds>      first command; fixes the KPI's interval
+//! PREF <recall> <precision>     set the accuracy preference (before HELLO's
+//!                               first RETRAIN; default 0.66 0.66)
+//! OBS <ts> <value|nan>          feed one point -> verdict (or "pending")
+//! LABEL <flags>                 label the oldest unlabeled points; flags is
+//!                               a string of 0/1, one per point
+//! RETRAIN                       incremental retraining + cThld refresh
+//! STATUS                        counters and current cThld
+//! QUIT                          close the connection
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod proto;
+mod service;
+
+pub use proto::{parse_request, Request, Response};
+pub use service::{Server, ServerHandle};

@@ -1,0 +1,27 @@
+//! `opprentice-serve` — run the Opprentice TCP service.
+//!
+//! ```text
+//! opprentice-serve [ADDR]     # default 127.0.0.1:4755 ("OPpr" on a phone pad)
+//! ```
+//!
+//! Try it interactively:
+//!
+//! ```text
+//! $ opprentice-serve &
+//! $ nc 127.0.0.1 4755
+//! HELLO 60
+//! OK opprentice interval=60
+//! OBS 0 100.0
+//! OK pending
+//! ```
+
+use opprentice_server::Server;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:4755".to_string());
+    let server = Server::bind(&addr)?;
+    let handle = server.handle();
+    eprintln!("opprentice-serve listening on {}", handle.addr());
+    eprintln!("protocol: HELLO <interval> | OBS <ts> <value|nan> | LABEL <flags> | RETRAIN | STATUS | QUIT");
+    server.serve()
+}

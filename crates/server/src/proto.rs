@@ -1,0 +1,187 @@
+//! The line protocol: request parsing and response formatting.
+//!
+//! Kept separate from the transport so it is unit-testable without sockets
+//! and reusable over any line-delimited byte stream.
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `HELLO <interval_seconds>` — must be the first command.
+    Hello {
+        /// KPI sampling interval in seconds.
+        interval: u32,
+    },
+    /// `PREF <recall> <precision>` — set the accuracy preference.
+    Pref {
+        /// Minimum acceptable recall, in `[0, 1]`.
+        recall: f64,
+        /// Minimum acceptable precision, in `[0, 1]`.
+        precision: f64,
+    },
+    /// `OBS <ts> <value|nan>` — feed one point.
+    Obs {
+        /// Epoch seconds of the point.
+        timestamp: i64,
+        /// The value (`None` = missing point).
+        value: Option<f64>,
+    },
+    /// `LABEL <flags>` — label the oldest unlabeled points (`0`/`1` chars).
+    Label {
+        /// One flag per point, oldest first.
+        flags: Vec<bool>,
+    },
+    /// `RETRAIN` — incremental retraining round.
+    Retrain,
+    /// `STATUS` — report counters.
+    Status,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// A server response, rendered as one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK …`
+    Ok(String),
+    /// `ERR <reason>`
+    Err(String),
+    /// `BYE`
+    Bye,
+}
+
+impl Response {
+    /// Renders the response line (without the trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok(s) if s.is_empty() => "OK".to_string(),
+            Response::Ok(s) => format!("OK {s}"),
+            Response::Err(s) => format!("ERR {s}"),
+            Response::Bye => "BYE".to_string(),
+        }
+    }
+}
+
+/// Parses one request line. Returns `Err` with a human-readable reason on
+/// malformed input (the connection stays usable — bad lines are answered
+/// with `ERR`, not dropped, so an operator poking at the port with netcat
+/// gets feedback).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().ok_or("empty line")?;
+    let parsed = match cmd.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            let interval: u32 = parts
+                .next()
+                .ok_or("HELLO needs an interval")?
+                .parse()
+                .map_err(|_| "bad interval")?;
+            if interval == 0 || interval > 7 * 86_400 {
+                return Err("interval out of range".to_string());
+            }
+            Request::Hello { interval }
+        }
+        "PREF" => {
+            let recall: f64 = parts.next().ok_or("PREF needs recall")?.parse().map_err(|_| "bad recall")?;
+            let precision: f64 =
+                parts.next().ok_or("PREF needs precision")?.parse().map_err(|_| "bad precision")?;
+            if !(0.0..=1.0).contains(&recall) || !(0.0..=1.0).contains(&precision) {
+                return Err("preference out of [0, 1]".to_string());
+            }
+            Request::Pref { recall, precision }
+        }
+        "OBS" => {
+            let timestamp: i64 =
+                parts.next().ok_or("OBS needs a timestamp")?.parse().map_err(|_| "bad timestamp")?;
+            let raw = parts.next().ok_or("OBS needs a value")?;
+            let value = if raw.eq_ignore_ascii_case("nan") {
+                None
+            } else {
+                let v: f64 = raw.parse().map_err(|_| "bad value")?;
+                if !v.is_finite() {
+                    return Err("value must be finite".to_string());
+                }
+                Some(v)
+            };
+            Request::Obs { timestamp, value }
+        }
+        "LABEL" => {
+            let raw = parts.next().ok_or("LABEL needs flags")?;
+            let mut flags = Vec::with_capacity(raw.len());
+            for c in raw.chars() {
+                match c {
+                    '0' => flags.push(false),
+                    '1' => flags.push(true),
+                    other => return Err(format!("bad flag char `{other}`")),
+                }
+            }
+            if flags.is_empty() {
+                return Err("empty flags".to_string());
+            }
+            Request::Label { flags }
+        }
+        "RETRAIN" => Request::Retrain,
+        "STATUS" => Request::Status,
+        "QUIT" => Request::Quit,
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    if parts.next().is_some() {
+        return Err("trailing arguments".to_string());
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request("HELLO 60"), Ok(Request::Hello { interval: 60 }));
+        assert_eq!(
+            parse_request("PREF 0.66 0.66"),
+            Ok(Request::Pref { recall: 0.66, precision: 0.66 })
+        );
+        assert_eq!(
+            parse_request("OBS 1000 42.5"),
+            Ok(Request::Obs { timestamp: 1000, value: Some(42.5) })
+        );
+        assert_eq!(parse_request("OBS 1000 nan"), Ok(Request::Obs { timestamp: 1000, value: None }));
+        assert_eq!(
+            parse_request("LABEL 0101"),
+            Ok(Request::Label { flags: vec![false, true, false, true] })
+        );
+        assert_eq!(parse_request("RETRAIN"), Ok(Request::Retrain));
+        assert_eq!(parse_request("STATUS"), Ok(Request::Status));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn commands_are_case_insensitive() {
+        assert_eq!(parse_request("hello 300"), Ok(Request::Hello { interval: 300 }));
+        assert_eq!(parse_request("obs 0 NaN"), Ok(Request::Obs { timestamp: 0, value: None }));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("HELLO abc").is_err());
+        assert!(parse_request("HELLO 0").is_err());
+        assert!(parse_request("OBS 5").is_err());
+        assert!(parse_request("OBS x 1.0").is_err());
+        assert!(parse_request("OBS 5 inf").is_err());
+        assert!(parse_request("LABEL 01x").is_err());
+        assert!(parse_request("LABEL").is_err());
+        assert!(parse_request("PREF 2 0.5").is_err());
+        assert!(parse_request("FLY ME").is_err());
+        assert!(parse_request("STATUS noise").is_err());
+    }
+
+    #[test]
+    fn response_rendering() {
+        assert_eq!(Response::Ok(String::new()).render(), "OK");
+        assert_eq!(Response::Ok("p=0.5".into()).render(), "OK p=0.5");
+        assert_eq!(Response::Err("nope".into()).render(), "ERR nope");
+        assert_eq!(Response::Bye.render(), "BYE");
+    }
+}

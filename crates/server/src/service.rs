@@ -1,0 +1,353 @@
+//! The TCP transport: accept loop, per-connection session, graceful
+//! shutdown.
+
+use crate::proto::{parse_request, Request, Response};
+use opprentice::cthld::Preference;
+use opprentice::{Opprentice, OpprenticeConfig};
+use opprentice_learn::RandomForestParams;
+use opprentice_timeseries::Labels;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One client's session state: the protocol state machine around one
+/// [`Opprentice`] pipeline.
+struct Session {
+    pipeline: Option<Opprentice>,
+    preference: Preference,
+    n_trees: usize,
+}
+
+impl Session {
+    fn new(n_trees: usize) -> Self {
+        Self { pipeline: None, preference: Preference::moderate(), n_trees }
+    }
+
+    fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Hello { interval } => {
+                if self.pipeline.is_some() {
+                    return Response::Err("already configured".into());
+                }
+                let config = OpprenticeConfig {
+                    preference: self.preference,
+                    forest: RandomForestParams { n_trees: self.n_trees, ..Default::default() },
+                    ..Default::default()
+                };
+                self.pipeline = Some(Opprentice::new(interval, config));
+                Response::Ok(format!("opprentice interval={interval}"))
+            }
+            Request::Pref { recall, precision } => {
+                self.preference = Preference { recall, precision };
+                if self.pipeline.is_some() {
+                    // Applies from the next HELLO; keep semantics simple.
+                    return Response::Err("PREF must precede HELLO".into());
+                }
+                Response::Ok(format!("pref recall={recall} precision={precision}"))
+            }
+            Request::Obs { timestamp, value } => {
+                let Some(p) = self.pipeline.as_mut() else {
+                    return Response::Err("HELLO first".into());
+                };
+                match p.observe(timestamp, value) {
+                    Some(d) => Response::Ok(format!(
+                        "p={:.4} cthld={:.3} anomaly={}",
+                        d.probability,
+                        d.cthld,
+                        u8::from(d.is_anomaly)
+                    )),
+                    None => Response::Ok("pending".into()),
+                }
+            }
+            Request::Label { flags } => {
+                let Some(p) = self.pipeline.as_mut() else {
+                    return Response::Err("HELLO first".into());
+                };
+                let unlabeled = p.observed_len() - p.labeled_len();
+                if flags.len() > unlabeled {
+                    return Response::Err(format!("only {unlabeled} points are unlabeled"));
+                }
+                p.ingest_labels(&Labels::from_flags(flags));
+                Response::Ok(format!("labeled={}", p.labeled_len()))
+            }
+            Request::Retrain => {
+                let Some(p) = self.pipeline.as_mut() else {
+                    return Response::Err("HELLO first".into());
+                };
+                if p.retrain() {
+                    Response::Ok(format!("trained cthld={:.3}", p.current_cthld()))
+                } else {
+                    Response::Err("need at least one labeled anomaly".into())
+                }
+            }
+            Request::Status => match self.pipeline.as_ref() {
+                None => Response::Ok("observed=0 labeled=0 trained=0".into()),
+                Some(p) => Response::Ok(format!(
+                    "observed={} labeled={} trained={} cthld={:.3}",
+                    p.observed_len(),
+                    p.labeled_len(),
+                    u8::from(p.is_trained()),
+                    p.current_cthld()
+                )),
+            },
+            Request::Quit => Response::Bye,
+        }
+    }
+}
+
+/// Runs one connection to completion.
+fn serve_connection(stream: TcpStream, n_trees: usize) {
+    let peer = stream.peer_addr().ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut session = Session::new(n_trees);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // disconnect
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(line.trim()) {
+            Ok(req) => session.handle(req),
+            Err(reason) => Response::Err(reason),
+        };
+        let quit = response == Response::Bye;
+        if writer.write_all(response.render().as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+    let _ = peer;
+}
+
+/// Handle used to stop a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown; the accept loop exits after its current cycle.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept with a throwaway connection.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The Opprentice TCP server.
+pub struct Server {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    /// Forest size per session (tunable for tests).
+    pub n_trees: usize,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, stop: Arc::new(AtomicBool::new(false)), n_trees: 50 })
+    }
+
+    /// A handle for shutting the server down.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: self.stop.clone(),
+            addr: self.listener.local_addr().expect("bound listener"),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
+    /// Connection threads are joined before returning, so a clean shutdown
+    /// never strands a session mid-write.
+    pub fn serve(self) -> std::io::Result<()> {
+        let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let n_trees = self.n_trees;
+                    let handle = std::thread::spawn(move || serve_connection(stream, n_trees));
+                    workers.lock().push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(_) => continue,
+            }
+        }
+        for handle in workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny blocking test client.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone");
+            Client { reader: BufReader::new(stream), writer }
+        }
+
+        fn send(&mut self, line: &str) -> String {
+            self.writer.write_all(line.as_bytes()).unwrap();
+            self.writer.write_all(b"\n").unwrap();
+            self.writer.flush().unwrap();
+            let mut out = String::new();
+            self.reader.read_line(&mut out).unwrap();
+            out.trim_end().to_string()
+        }
+    }
+
+    fn start_server() -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let mut server = Server::bind("127.0.0.1:0").expect("bind");
+        server.n_trees = 8; // keep test retraining fast
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve().expect("serve"));
+        (handle, join)
+    }
+
+    /// Streams a daily-patterned history with labeled spikes, then checks
+    /// online verdicts — the full protocol lifecycle over a real socket.
+    #[test]
+    fn full_protocol_lifecycle() {
+        let (handle, join) = start_server();
+        let mut c = Client::connect(handle.addr());
+
+        assert!(c.send("HELLO 3600").starts_with("OK opprentice"));
+        assert_eq!(c.send("STATUS"), "OK observed=0 labeled=0 trained=0 cthld=0.500");
+
+        // Stream 21 days of hourly data with a spike every 63 hours.
+        let n = 21 * 24;
+        let mut flags = String::with_capacity(n);
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            let v = if anomalous { base + 150.0 } else { base };
+            let reply = c.send(&format!("OBS {} {v}", i * 3600));
+            assert!(reply.starts_with("OK"), "{reply}");
+            flags.push(if anomalous { '1' } else { '0' });
+        }
+
+        // Label everything, retrain.
+        assert_eq!(c.send(&format!("LABEL {flags}")), format!("OK labeled={n}"));
+        let trained = c.send("RETRAIN");
+        assert!(trained.starts_with("OK trained"), "{trained}");
+
+        // A normal continuation scores low; a spike alerts.
+        let normal = c.send(&format!("OBS {} 100.0", n * 3600));
+        assert!(normal.contains("anomaly=0"), "{normal}");
+        let spike = c.send(&format!("OBS {} 400.0", (n + 1) * 3600));
+        assert!(spike.contains("anomaly=1"), "{spike}");
+
+        assert_eq!(c.send("QUIT"), "BYE");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_keep_the_connection_alive() {
+        let (handle, join) = start_server();
+        let mut c = Client::connect(handle.addr());
+
+        // Everything before HELLO that needs a pipeline: ERR.
+        assert!(c.send("OBS 0 1.0").starts_with("ERR"));
+        assert!(c.send("RETRAIN").starts_with("ERR"));
+        // Garbage: ERR with a reason, connection still usable.
+        assert!(c.send("GARBAGE").starts_with("ERR"));
+        assert!(c.send("HELLO 60").starts_with("OK"));
+        // Double HELLO rejected.
+        assert!(c.send("HELLO 60").starts_with("ERR"));
+        // Labeling more than observed rejected.
+        assert!(c.send("LABEL 111").starts_with("ERR"));
+        // Retrain without positives rejected.
+        c.send("OBS 0 1.0");
+        c.send("LABEL 0");
+        assert!(c.send("RETRAIN").starts_with("ERR"));
+
+        assert_eq!(c.send("QUIT"), "BYE");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn preference_must_precede_hello() {
+        let (handle, join) = start_server();
+        let mut c = Client::connect(handle.addr());
+        assert!(c.send("PREF 0.8 0.6").starts_with("OK pref"));
+        assert!(c.send("HELLO 60").starts_with("OK"));
+        assert!(c.send("PREF 0.5 0.5").starts_with("ERR"));
+        c.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_connections_are_isolated() {
+        let (handle, join) = start_server();
+        let mut a = Client::connect(handle.addr());
+        let mut b = Client::connect(handle.addr());
+        assert!(a.send("HELLO 60").starts_with("OK"));
+        // b is unconfigured even though a is configured.
+        assert!(b.send("OBS 0 1.0").starts_with("ERR"));
+        assert!(b.send("HELLO 300").starts_with("OK"));
+        a.send("OBS 0 5.0");
+        assert_eq!(a.send("STATUS"), "OK observed=1 labeled=0 trained=0 cthld=0.500");
+        assert_eq!(b.send("STATUS"), "OK observed=0 labeled=0 trained=0 cthld=0.500");
+        a.send("QUIT");
+        b.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_without_quit_is_fine() {
+        let (handle, join) = start_server();
+        {
+            let mut c = Client::connect(handle.addr());
+            assert!(c.send("HELLO 60").starts_with("OK"));
+            // Drop the client abruptly.
+        }
+        // Server still accepts new connections.
+        let mut c2 = Client::connect(handle.addr());
+        assert!(c2.send("HELLO 60").starts_with("OK"));
+        c2.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Anomaly labels: per-point ground truth and operator-style windows.
+//!
+//! Operators using the labeling tool of §4.2 do not label individual time
+//! bins; they "left click and drag the mouse to label the window of
+//! anomalies". Detection, training and evaluation, however, "are all designed
+//! to work with individual data points" (§4.3.1). [`AnomalyWindow`] and
+//! [`Labels`] provide both views and the conversions between them.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of anomalous points, `[start, end)` in point indices.
+///
+/// This is the unit of one operator label action: Fig. 14 of the paper plots
+/// labeling time against the number of these windows per month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AnomalyWindow {
+    /// First anomalous point index (inclusive).
+    pub start: usize,
+    /// One past the last anomalous point index (exclusive).
+    pub end: usize,
+}
+
+impl AnomalyWindow {
+    /// Creates a window over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` (windows are non-empty).
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start < end, "anomaly window must be non-empty");
+        Self { start, end }
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Windows are non-empty by construction; always `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if point index `i` falls inside the window.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.start..self.end).contains(&i)
+    }
+
+    /// `true` if the two windows share at least one point.
+    pub fn overlaps(&self, other: &AnomalyWindow) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Per-point anomaly labels aligned with a [`crate::TimeSeries`].
+///
+/// `true` marks an anomalous point. This is the "ground truth" of §2.2:
+/// recall and precision are computed against it point by point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labels {
+    flags: Vec<bool>,
+}
+
+impl Labels {
+    /// All-normal labels for a series of `len` points.
+    pub fn all_normal(len: usize) -> Self {
+        Self { flags: vec![false; len] }
+    }
+
+    /// Builds labels from raw per-point flags.
+    pub fn from_flags(flags: Vec<bool>) -> Self {
+        Self { flags }
+    }
+
+    /// Builds point labels of length `len` from operator windows.
+    ///
+    /// Windows may overlap (an operator may label the same region twice);
+    /// points past `len` are clipped, mirroring the tool's behaviour at the
+    /// end of the loaded data.
+    pub fn from_windows(len: usize, windows: &[AnomalyWindow]) -> Self {
+        let mut flags = vec![false; len];
+        for w in windows {
+            for flag in flags.iter_mut().take(w.end.min(len)).skip(w.start.min(len)) {
+                *flag = true;
+            }
+        }
+        Self { flags }
+    }
+
+    /// Number of labeled points.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// `true` if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// `true` if point `i` is labeled anomalous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn is_anomaly(&self, i: usize) -> bool {
+        self.flags[i]
+    }
+
+    /// Marks point `i` anomalous (right-click erase is [`Labels::clear`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn mark(&mut self, i: usize) {
+        self.flags[i] = true;
+    }
+
+    /// Clears the anomaly mark on point `i` — the tool's "right click and
+    /// drag to (partially) cancel previously labeled window".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn clear(&mut self, i: usize) {
+        self.flags[i] = false;
+    }
+
+    /// Appends a label for a newly arrived point.
+    pub fn push(&mut self, anomalous: bool) {
+        self.flags.push(anomalous);
+    }
+
+    /// Total anomalous points.
+    pub fn anomaly_count(&self) -> usize {
+        self.flags.iter().filter(|&&f| f).count()
+    }
+
+    /// Fraction of anomalous points — the paper reports 7.8%, 2.8% and 7.4%
+    /// for PV, #SR and SRT (§5.1).
+    pub fn anomaly_ratio(&self) -> f64 {
+        if self.flags.is_empty() {
+            return 0.0;
+        }
+        self.anomaly_count() as f64 / self.len() as f64
+    }
+
+    /// The raw flags.
+    pub fn flags(&self) -> &[bool] {
+        &self.flags
+    }
+
+    /// Labels restricted to `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Labels {
+        Labels { flags: self.flags[range].to_vec() }
+    }
+
+    /// Decomposes the point labels into maximal anomalous windows — the
+    /// inverse of [`Labels::from_windows`] up to window merging.
+    pub fn to_windows(&self) -> Vec<AnomalyWindow> {
+        let mut windows = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for (i, &f) in self.flags.iter().enumerate() {
+            match (f, run_start) {
+                (true, None) => run_start = Some(i),
+                (false, Some(s)) => {
+                    windows.push(AnomalyWindow::new(s, i));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            windows.push(AnomalyWindow::new(s, self.flags.len()));
+        }
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_basics() {
+        let w = AnomalyWindow::new(5, 8);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert!(w.contains(5));
+        assert!(w.contains(7));
+        assert!(!w.contains(8));
+        assert!(!w.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = AnomalyWindow::new(3, 3);
+    }
+
+    #[test]
+    fn window_overlap() {
+        let a = AnomalyWindow::new(0, 5);
+        let b = AnomalyWindow::new(4, 9);
+        let c = AnomalyWindow::new(5, 9);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn from_windows_marks_points() {
+        let labels = Labels::from_windows(10, &[AnomalyWindow::new(2, 4), AnomalyWindow::new(7, 9)]);
+        let marked: Vec<usize> = (0..10).filter(|&i| labels.is_anomaly(i)).collect();
+        assert_eq!(marked, vec![2, 3, 7, 8]);
+        assert_eq!(labels.anomaly_count(), 4);
+    }
+
+    #[test]
+    fn from_windows_clips_past_end() {
+        let labels = Labels::from_windows(5, &[AnomalyWindow::new(3, 100)]);
+        assert_eq!(labels.anomaly_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_windows_do_not_double_count() {
+        let labels = Labels::from_windows(10, &[AnomalyWindow::new(2, 6), AnomalyWindow::new(4, 8)]);
+        assert_eq!(labels.anomaly_count(), 6);
+    }
+
+    #[test]
+    fn to_windows_round_trip() {
+        let windows = vec![AnomalyWindow::new(0, 2), AnomalyWindow::new(5, 6), AnomalyWindow::new(8, 10)];
+        let labels = Labels::from_windows(10, &windows);
+        assert_eq!(labels.to_windows(), windows);
+    }
+
+    #[test]
+    fn to_windows_handles_trailing_run() {
+        let labels = Labels::from_flags(vec![false, true, true]);
+        assert_eq!(labels.to_windows(), vec![AnomalyWindow::new(1, 3)]);
+    }
+
+    #[test]
+    fn adjacent_windows_merge_in_round_trip() {
+        // from_windows([2,4), [4,6)) == one run [2,6): merging is expected.
+        let labels = Labels::from_windows(8, &[AnomalyWindow::new(2, 4), AnomalyWindow::new(4, 6)]);
+        assert_eq!(labels.to_windows(), vec![AnomalyWindow::new(2, 6)]);
+    }
+
+    #[test]
+    fn mark_clear_push() {
+        let mut labels = Labels::all_normal(3);
+        labels.mark(1);
+        assert!(labels.is_anomaly(1));
+        labels.clear(1);
+        assert!(!labels.is_anomaly(1));
+        labels.push(true);
+        assert_eq!(labels.len(), 4);
+        assert!(labels.is_anomaly(3));
+    }
+
+    #[test]
+    fn anomaly_ratio() {
+        let labels = Labels::from_flags(vec![true, false, false, true]);
+        assert!((labels.anomaly_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(Labels::all_normal(0).anomaly_ratio(), 0.0);
+    }
+
+    #[test]
+    fn slice_labels() {
+        let labels = Labels::from_flags(vec![true, false, true, true, false]);
+        let s = labels.slice(1..4);
+        assert_eq!(s.flags(), &[false, true, true]);
+    }
+}

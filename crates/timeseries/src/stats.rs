@@ -1,0 +1,199 @@
+//! Summary statistics over KPI series, reproducing the characteristics the
+//! paper reports in Table 1: dispersion (coefficient of variation) and
+//! seasonality strength.
+//!
+//! All statistics skip missing (`NaN`) points.
+
+use crate::TimeSeries;
+
+/// Mean of the present (non-missing) points, or `None` if none are present.
+pub fn mean(series: &TimeSeries) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in series.values() {
+        if !v.is_nan() {
+            sum += v;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Population standard deviation of the present points, or `None` if fewer
+/// than one point is present.
+pub fn std_dev(series: &TimeSeries) -> Option<f64> {
+    let m = mean(series)?;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for v in series.values() {
+        if !v.is_nan() {
+            acc += (v - m) * (v - m);
+            n += 1;
+        }
+    }
+    Some((acc / n as f64).sqrt())
+}
+
+/// Coefficient of variation `Cv = std / mean` — Table 1 reports 0.48 for PV,
+/// 2.1 for #SR and 0.07 for SRT. Returns `None` when the mean is zero or the
+/// series is empty/missing.
+pub fn coefficient_of_variation(series: &TimeSeries) -> Option<f64> {
+    let m = mean(series)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(series)? / m.abs())
+}
+
+/// Autocorrelation of the series at `lag` points, skipping pairs with a
+/// missing endpoint. Returns `None` when fewer than two usable pairs exist
+/// or the variance is zero.
+pub fn autocorrelation(series: &TimeSeries, lag: usize) -> Option<f64> {
+    if lag == 0 {
+        return Some(1.0);
+    }
+    if series.len() <= lag {
+        return None;
+    }
+    let m = mean(series)?;
+    let mut num = 0.0;
+    let mut pairs = 0usize;
+    let vals = series.values();
+    for i in lag..vals.len() {
+        let (a, b) = (vals[i], vals[i - lag]);
+        if !a.is_nan() && !b.is_nan() {
+            num += (a - m) * (b - m);
+            pairs += 1;
+        }
+    }
+    if pairs < 2 {
+        return None;
+    }
+    let mut den = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        if !v.is_nan() {
+            den += (v - m) * (v - m);
+            n += 1;
+        }
+    }
+    if den == 0.0 {
+        return None;
+    }
+    // Scale numerator and denominator to comparable per-sample averages.
+    Some((num / pairs as f64) / (den / n as f64))
+}
+
+/// Seasonality strength: the autocorrelation at the daily lag, clamped to
+/// `[0, 1]`. The paper characterizes PV as "strong", SRT as "moderate" and
+/// #SR as "weak" seasonality (Table 1); this gives those bands a number.
+pub fn seasonality_strength(series: &TimeSeries) -> Option<f64> {
+    let lag = series.points_per_day();
+    autocorrelation(series, lag).map(|r| r.clamp(0.0, 1.0))
+}
+
+/// Qualitative seasonality band matching Table 1's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seasonality {
+    /// Daily autocorrelation below 0.4.
+    Weak,
+    /// Daily autocorrelation in `[0.4, 0.75)`.
+    Moderate,
+    /// Daily autocorrelation of at least 0.75.
+    Strong,
+}
+
+/// Classifies [`seasonality_strength`] into Table 1's bands.
+pub fn seasonality_band(series: &TimeSeries) -> Option<Seasonality> {
+    let s = seasonality_strength(series)?;
+    Some(if s >= 0.75 {
+        Seasonality::Strong
+    } else if s >= 0.4 {
+        Seasonality::Moderate
+    } else {
+        Seasonality::Weak
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(len: usize, v: f64) -> TimeSeries {
+        TimeSeries::from_values(0, 60, vec![v; len])
+    }
+
+    #[test]
+    fn mean_and_std_skip_missing() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(mean(&ts), Some(2.0));
+        assert!((std_dev(&ts).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_all_missing_yields_none() {
+        let empty = TimeSeries::new(0, 60);
+        assert_eq!(mean(&empty), None);
+        let missing = TimeSeries::from_values(0, 60, vec![f64::NAN; 4]);
+        assert_eq!(mean(&missing), None);
+        assert_eq!(coefficient_of_variation(&missing), None);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        let ts = TimeSeries::from_values(0, 60, vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // mean = 5, population std = 2 => Cv = 0.4
+        assert!((coefficient_of_variation(&ts).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_none_for_zero_mean() {
+        let ts = TimeSeries::from_values(0, 60, vec![-1.0, 1.0]);
+        assert_eq!(coefficient_of_variation(&ts), None);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal_peaks_at_period() {
+        // Hourly interval => 24 points/day; a perfect daily sine.
+        let n = 24 * 14;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+            .collect();
+        let ts = TimeSeries::from_values(0, 3600, vals);
+        let daily = autocorrelation(&ts, 24).unwrap();
+        assert!(daily > 0.95, "daily autocorr {daily}");
+        let half = autocorrelation(&ts, 12).unwrap();
+        assert!(half < -0.9, "half-period autocorr {half}");
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let ts = constant(10, 5.0);
+        assert_eq!(autocorrelation(&ts, 0), Some(1.0));
+    }
+
+    #[test]
+    fn autocorrelation_none_when_variance_zero() {
+        let ts = constant(100, 5.0);
+        assert_eq!(autocorrelation(&ts, 1), None);
+    }
+
+    #[test]
+    fn seasonality_bands() {
+        let n = 24 * 14;
+        let strong: Vec<f64> = (0..n)
+            .map(|i| 100.0 + 50.0 * (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+            .collect();
+        let ts = TimeSeries::from_values(0, 3600, strong);
+        assert_eq!(seasonality_band(&ts), Some(Seasonality::Strong));
+    }
+
+    #[test]
+    fn weak_seasonality_for_noise() {
+        // Deterministic pseudo-noise with no daily structure.
+        let n = 24 * 14;
+        let vals: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) % 1000) as f64).collect();
+        let ts = TimeSeries::from_values(0, 3600, vals);
+        assert_eq!(seasonality_band(&ts), Some(Seasonality::Weak));
+    }
+}

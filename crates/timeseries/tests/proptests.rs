@@ -1,0 +1,73 @@
+//! Property-based tests for the time-series containers.
+
+use opprentice_timeseries::{slot_of_day, slot_of_week, AnomalyWindow, Labels, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// index_of is the left inverse of timestamp_at for every in-range point.
+    #[test]
+    fn index_of_inverts_timestamp(
+        start in -1_000_000i64..1_000_000,
+        interval in 1u32..7200,
+        len in 1usize..500,
+    ) {
+        let ts = TimeSeries::from_values(start, interval, vec![0.0; len]);
+        for i in (0..len).step_by(7.max(len / 13)) {
+            prop_assert_eq!(ts.index_of(ts.timestamp_at(i)), Some(i));
+        }
+    }
+
+    /// Windows -> labels -> windows preserves the labeled point set.
+    #[test]
+    fn window_label_round_trip(
+        len in 1usize..300,
+        raw in prop::collection::vec((0usize..300, 1usize..20), 0..8),
+    ) {
+        let windows: Vec<AnomalyWindow> = raw
+            .into_iter()
+            .filter(|(s, _)| *s < len)
+            .map(|(s, w)| AnomalyWindow::new(s, (s + w).min(len).max(s + 1)))
+            .collect();
+        let labels = Labels::from_windows(len, &windows);
+        let rebuilt = Labels::from_windows(len, &labels.to_windows());
+        prop_assert_eq!(labels, rebuilt);
+    }
+
+    /// to_windows yields disjoint, sorted, maximal windows.
+    #[test]
+    fn to_windows_disjoint_sorted(flags in prop::collection::vec(any::<bool>(), 0..300)) {
+        let labels = Labels::from_flags(flags);
+        let ws = labels.to_windows();
+        for pair in ws.windows(2) {
+            // Strictly separated: adjacent runs would have merged.
+            prop_assert!(pair[0].end < pair[1].start);
+        }
+        let total: usize = ws.iter().map(|w| w.len()).sum();
+        prop_assert_eq!(total, labels.anomaly_count());
+    }
+
+    /// Day slots are consistent with week slots.
+    #[test]
+    fn slots_consistent(ts in -10_000_000i64..10_000_000, interval in prop::sample::select(vec![60u32, 300, 3600])) {
+        let d = slot_of_day(ts, interval);
+        let w = slot_of_week(ts, interval);
+        let per_day = (86_400 / interval as i64) as usize;
+        prop_assert_eq!(w % per_day, d);
+        prop_assert!(w < per_day * 7);
+    }
+
+    /// Slicing preserves values and timestamps.
+    #[test]
+    fn slice_consistency(len in 2usize..200, cut in 0usize..100) {
+        let vals: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let ts = TimeSeries::from_values(0, 60, vals);
+        let a = cut.min(len - 1);
+        let b = len;
+        let s = ts.slice(a..b);
+        prop_assert_eq!(s.len(), b - a);
+        for i in 0..s.len() {
+            prop_assert_eq!(s.get(i), ts.get(a + i));
+            prop_assert_eq!(s.timestamp_at(i), ts.timestamp_at(a + i));
+        }
+    }
+}

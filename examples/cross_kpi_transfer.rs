@@ -1,0 +1,81 @@
+//! §6 "Detection across the same types of KPIs": train the classifier on
+//! one labeled KPI and reuse it, unmodified, on another KPI of the same
+//! type (e.g. the PV originated from a different ISP) — so operators "only
+//! have to label one or just a few KPIs".
+//!
+//! The paper notes the prerequisite: "the anomaly features extracted by
+//! basic detectors should be normalized" to survive scale differences.
+//! This example demonstrates both halves: transfer *fails* on raw
+//! severities when the target KPI runs at 4x the volume, and works once
+//! features are normalized by each KPI's own scale.
+//!
+//! Run: `cargo run --release --example cross_kpi_transfer`
+
+use opprentice_repro::datagen::presets;
+use opprentice_repro::learn::metrics::auc_pr_of;
+use opprentice_repro::learn::{Classifier, Dataset, RandomForest, RandomForestParams};
+use opprentice_repro::opprentice::extract_features;
+use opprentice_repro::opprentice::features::FeatureMatrix;
+use opprentice_repro::timeseries::Labels;
+
+/// Builds a dataset, optionally dividing every severity by that feature's
+/// own 99th-percentile scale on this KPI (per-KPI normalization).
+fn dataset(matrix: &FeatureMatrix, labels: &Labels, normalize: bool) -> Dataset {
+    let m = matrix.n_features();
+    let scales: Vec<f64> = if normalize {
+        (0..m)
+            .map(|c| {
+                let mut xs: Vec<f64> =
+                    (0..matrix.len()).filter(|&i| matrix.usable(i)).map(|i| matrix.row(i)[c]).collect();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let q = xs[(xs.len() as f64 * 0.99) as usize % xs.len()];
+                if q > 0.0 {
+                    q
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    } else {
+        vec![1.0; m]
+    };
+    let mut ds = Dataset::new(m);
+    for i in 0..matrix.len() {
+        if matrix.usable(i) {
+            let row: Vec<f64> = matrix.row(i).iter().zip(&scales).map(|(v, s)| v / s).collect();
+            ds.push(&row, labels.is_anomaly(i));
+        }
+    }
+    ds
+}
+
+fn main() {
+    // Source: the standard PV. Target: "PV from another ISP" — same shape,
+    // different seed and 4x the traffic volume.
+    let source_spec = presets::fast(&presets::pv(), 300);
+    let mut target_spec = source_spec.clone();
+    target_spec.seed ^= 0xDEAD_BEEF;
+    target_spec.base *= 4.0;
+    target_spec.weeks = 10;
+
+    let source = source_spec.generate();
+    let target = target_spec.generate();
+    println!("source: {} (base {})  target: same type, base {}\n", source.name, source_spec.base, target_spec.base);
+
+    let source_matrix = extract_features(&source.series);
+    let target_matrix = extract_features(&target.series);
+
+    for normalize in [false, true] {
+        let train = dataset(&source_matrix, &source.truth, normalize);
+        let test = dataset(&target_matrix, &target.truth, normalize);
+        let mut forest = RandomForest::new(RandomForestParams { n_trees: 30, ..Default::default() });
+        forest.fit(&train);
+        let scores: Vec<Option<f64>> = (0..test.len()).map(|i| Some(forest.score(test.row(i)))).collect();
+        let auc = auc_pr_of(&scores, test.labels());
+        println!(
+            "{:<28} transfer AUCPR on the 4x-volume sibling KPI: {auc:.3}",
+            if normalize { "normalized features:" } else { "raw severities:" }
+        );
+    }
+    println!("\nAs §6 predicts, per-KPI feature normalization is what makes the classifier reusable.");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Opprentice reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. It re-exports the
+//! member crates so examples and tests can use one import root.
+
+pub use opprentice;
+pub use opprentice_datagen as datagen;
+pub use opprentice_detectors as detectors;
+pub use opprentice_learn as learn;
+pub use opprentice_numeric as numeric;
+pub use opprentice_timeseries as timeseries;

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full Opprentice pipeline from
+//! synthetic KPI generation through detection, exercising every workspace
+//! crate together.
+
+use opprentice_repro::datagen::model::KpiSpec;
+use opprentice_repro::datagen::{presets, SimulatedOperator};
+use opprentice_repro::learn::metrics::pr_curve;
+use opprentice_repro::learn::{auc_pr, Classifier, RandomForest, RandomForestParams};
+use opprentice_repro::opprentice::cthld::{best_cthld, Preference};
+use opprentice_repro::opprentice::evaluate::Evaluator;
+use opprentice_repro::opprentice::strategy::{EvalPlan, TrainingStrategy};
+use opprentice_repro::opprentice::{extract_features, Opprentice, OpprenticeConfig};
+
+/// A small but realistic hourly KPI: 12 weeks, strong daily pattern.
+fn small_kpi() -> KpiSpec {
+    KpiSpec {
+        name: "it".into(),
+        interval: 3600,
+        weeks: 12,
+        base: 200.0,
+        daily_amp: 0.4,
+        weekly_amp: 0.1,
+        noise_sigma: 0.04,
+        burst_rate: 0.0,
+        burst_sigma: 1.0,
+        burst_scale: 0.0,
+        anomaly_ratio: 0.06,
+        anomaly_scale: 0.5,
+        spike_bias: 0.0,
+        anomaly_drift: 0.3,
+        mean_anomaly_len: 5.0,
+        extreme_label_quantile: None,
+        missing_ratio: 0.003,
+        seed: 0xE2E,
+    }
+}
+
+fn forest_params() -> RandomForestParams {
+    RandomForestParams { n_trees: 20, seed: 9, ..Default::default() }
+}
+
+#[test]
+fn generated_kpi_features_and_forest_reach_useful_accuracy() {
+    let kpi = small_kpi().generate();
+    let session = SimulatedOperator::default().label(&kpi);
+    let matrix = extract_features(&kpi.series);
+    assert_eq!(matrix.len(), kpi.series.len());
+    assert_eq!(matrix.n_features(), 133);
+
+    let ppw = kpi.series.points_per_week();
+    let split = 8 * ppw;
+    let (train, _) = matrix.dataset(&session.labels, 0..split);
+    assert!(train.positives() > 20, "training set needs anomalies");
+
+    let mut forest = RandomForest::new(forest_params());
+    forest.fit(&train);
+    let scores: Vec<Option<f64>> = (split..matrix.len())
+        .map(|i| matrix.usable(i).then(|| forest.score(matrix.row(i))))
+        .collect();
+    let curve = pr_curve(&scores, &session.labels.flags()[split..]);
+    let auc = auc_pr(&curve);
+    assert!(auc > 0.55, "end-to-end AUCPR too low: {auc}");
+}
+
+#[test]
+fn walk_forward_evaluator_improves_over_uninformative_baseline() {
+    let kpi = small_kpi().generate();
+    let session = SimulatedOperator::default().label(&kpi);
+    let matrix = extract_features(&kpi.series);
+    let mut ev = Evaluator::new(&matrix, &session.labels, kpi.series.points_per_week());
+    ev.forest_params = forest_params();
+    let outcomes = ev.run(TrainingStrategy::AllHistory, EvalPlan::weekly());
+    assert_eq!(outcomes.len(), 4); // weeks 9..12
+    let prevalence = session.labels.anomaly_ratio();
+    // Weekly anomaly regimes drift, so a week can be (nearly) anomaly-free
+    // — its PR curve is then empty and AUCPR zero by definition. Require
+    // the informative weeks to beat an uninformative scorer soundly.
+    let mut informative = 0usize;
+    for o in &outcomes {
+        let has_anomalies = session.labels.slice(o.points.clone()).anomaly_count() > 5;
+        if has_anomalies {
+            informative += 1;
+            assert!(
+                o.auc_pr > 3.0 * prevalence,
+                "week {:?}: AUCPR {} vs prevalence {prevalence}",
+                o.test_weeks,
+                o.auc_pr
+            );
+        }
+    }
+    assert!(informative >= 2, "test data degenerate: {informative} informative weeks");
+}
+
+#[test]
+fn best_cthld_operating_point_honors_the_preference_when_reachable() {
+    let kpi = small_kpi().generate();
+    let session = SimulatedOperator::default().label(&kpi);
+    let matrix = extract_features(&kpi.series);
+    let mut ev = Evaluator::new(&matrix, &session.labels, kpi.series.points_per_week());
+    ev.forest_params = forest_params();
+    let outcomes = ev.run(TrainingStrategy::AllHistory, EvalPlan::weekly());
+
+    let pref = Preference { recall: 0.4, precision: 0.4 }; // generous box
+    let mut satisfied = 0usize;
+    let mut evaluable = 0usize;
+    for o in &outcomes {
+        let Some(c) = best_cthld(&o.curve, &pref) else {
+            continue; // anomaly-free week: no curve to pick from
+        };
+        evaluable += 1;
+        assert!((0.0..=1.0).contains(&c));
+        let point = o
+            .curve
+            .iter()
+            .find(|p| p.threshold == c)
+            .expect("threshold from the curve");
+        if pref.satisfied_by(point.recall, point.precision) {
+            satisfied += 1;
+        }
+    }
+    assert!(evaluable >= 2, "test data degenerate: {evaluable} evaluable weeks");
+    assert!(satisfied * 2 >= evaluable, "only {satisfied}/{evaluable} weeks satisfied a generous box");
+}
+
+#[test]
+fn full_pipeline_object_detects_new_anomalies_after_retraining() {
+    let kpi = small_kpi().generate();
+    let session = SimulatedOperator::default().label(&kpi);
+    let ppw = kpi.series.points_per_week();
+    let cut = 9 * ppw;
+
+    let mut opp = Opprentice::new(
+        kpi.series.interval(),
+        OpprenticeConfig { forest: forest_params(), ..Default::default() },
+    );
+    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut));
+    assert!(opp.retrain());
+
+    // Stream the rest; collect verdicts and compare against the operator.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for i in cut..kpi.series.len() {
+        let verdict = opp.observe(kpi.series.timestamp_at(i), kpi.series.get(i));
+        let truth = session.labels.is_anomaly(i);
+        match (verdict.map(|d| d.is_anomaly).unwrap_or(false), truth) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    assert!(tp > 0, "pipeline detected nothing");
+    let recall = tp as f64 / (tp + fn_) as f64;
+    let precision = tp as f64 / (tp + fp) as f64;
+    assert!(recall > 0.3, "streamed recall {recall}");
+    assert!(precision > 0.3, "streamed precision {precision}");
+}
+
+#[test]
+fn operator_noise_degrades_but_does_not_break_learning() {
+    // §4.2: "machine learning is well known for being robust to noises."
+    let kpi = small_kpi().generate();
+    let matrix = extract_features(&kpi.series);
+    let ppw = kpi.series.points_per_week();
+    let split = 8 * ppw;
+
+    let auc_with = |labels: &opprentice_repro::timeseries::Labels| {
+        let (train, _) = matrix.dataset(labels, 0..split);
+        let mut forest = RandomForest::new(forest_params());
+        forest.fit(&train);
+        let scores: Vec<Option<f64>> = (split..matrix.len())
+            .map(|i| matrix.usable(i).then(|| forest.score(matrix.row(i))))
+            .collect();
+        // Evaluate against the *clean* truth in both cases.
+        auc_pr(&pr_curve(&scores, &kpi.truth.flags()[split..]))
+    };
+
+    let clean = auc_with(&kpi.truth);
+    let noisy_labels = SimulatedOperator::default().label(&kpi).labels;
+    let noisy = auc_with(&noisy_labels);
+    assert!(clean > 0.5, "clean-label AUCPR {clean}");
+    assert!(noisy > clean * 0.7, "noise destroyed learning: {noisy} vs {clean}");
+}
+
+#[test]
+fn the_three_paper_kpis_generate_and_featurize_end_to_end() {
+    // A fast-scale smoke test over the actual Table 1 presets.
+    for spec in presets::all() {
+        let mut spec = presets::fast(&spec, 600); // 10-minute for speed
+        spec.weeks = 3;
+        let kpi = spec.generate();
+        let matrix = extract_features(&kpi.series);
+        assert_eq!(matrix.len(), kpi.series.len());
+        // Severities must be finite everywhere.
+        for i in 0..matrix.len() {
+            for &v in matrix.row(i) {
+                assert!(v.is_finite(), "{}: non-finite feature at {i}", kpi.name);
+            }
+        }
+    }
+}
