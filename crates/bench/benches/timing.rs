@@ -56,11 +56,15 @@ fn bench_feature_extraction_lag(c: &mut Criterion) {
 
 fn bench_classification_lag(c: &mut Criterion) {
     let (ds, probe) = training_data();
-    let mut forest = RandomForest::new(RandomForestParams { n_trees: 60, ..Default::default() });
-    forest.fit(&ds);
-    c.benchmark_group("s5.8").bench_function("classification_per_point", |b| {
-        b.iter(|| black_box(forest.predict_proba(black_box(&probe))))
+    let mut forest = RandomForest::new(RandomForestParams {
+        n_trees: 60,
+        ..Default::default()
     });
+    forest.fit(&ds);
+    c.benchmark_group("s5.8")
+        .bench_function("classification_per_point", |b| {
+            b.iter(|| black_box(forest.predict_proba(black_box(&probe))))
+        });
 }
 
 fn bench_training_time(c: &mut Criterion) {
@@ -69,7 +73,10 @@ fn bench_training_time(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("training_round_8_weeks", |b| {
         b.iter(|| {
-            let mut forest = RandomForest::new(RandomForestParams { n_trees: 60, ..Default::default() });
+            let mut forest = RandomForest::new(RandomForestParams {
+                n_trees: 60,
+                ..Default::default()
+            });
             forest.fit(black_box(&ds));
             black_box(forest.tree_count())
         })

@@ -25,16 +25,28 @@ fn main() {
     println!("Ablation: histogram bins vs exact CART splits (PV, 20 trees)\n");
     println!("{:<12} {:>12} {:>8}", "splits", "train time", "AUCPR");
 
-    let arms: [(&str, Option<usize>); 5] =
-        [("exact", None), ("16 bins", Some(16)), ("64 bins", Some(64)), ("256 bins", Some(256)), ("1024 bins", Some(1024))];
+    let arms: [(&str, Option<usize>); 5] = [
+        ("exact", None),
+        ("16 bins", Some(16)),
+        ("64 bins", Some(64)),
+        ("256 bins", Some(256)),
+        ("1024 bins", Some(1024)),
+    ];
 
     let mut rows = Vec::new();
     for (label, n_bins) in arms {
-        let mut f = RandomForest::new(RandomForestParams { n_trees: 20, n_bins, seed: 42, ..Default::default() });
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees: 20,
+            n_bins,
+            seed: 42,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         f.fit(&train);
         let elapsed = t0.elapsed();
-        let scores: Vec<Option<f64>> = (0..test.len()).map(|i| Some(f.score(test.row(i)))).collect();
+        let scores: Vec<Option<f64>> = (0..test.len())
+            .map(|i| Some(f.score(test.row(i))))
+            .collect();
         let auc = auc_pr_of(&scores, test.labels());
         println!("{label:<12} {elapsed:>12.2?} {auc:>8.3}");
         rows.push(format!("{label},{},{auc:.4}", elapsed.as_secs_f64()));

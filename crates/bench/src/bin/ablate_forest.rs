@@ -42,8 +42,9 @@ fn main() {
                 ..Default::default()
             });
             f.fit(&train);
-            let scores: Vec<Option<f64>> =
-                (0..test.len()).map(|i| Some(f.score(test.row(i)))).collect();
+            let scores: Vec<Option<f64>> = (0..test.len())
+                .map(|i| Some(f.score(test.row(i))))
+                .collect();
             let auc = auc_pr_of(&scores, test.labels());
             print!("{auc:>8.3}");
             rows.push(format!("{n_trees},{max_features},{auc:.4}"));
@@ -57,6 +58,9 @@ fn main() {
 
     let lo = aucs.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = aucs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("\nAUCPR spread across the >=25-tree grid: {lo:.3}..{hi:.3} (Δ {:.3})", hi - lo);
+    println!(
+        "\nAUCPR spread across the >=25-tree grid: {lo:.3}..{hi:.3} (Δ {:.3})",
+        hi - lo
+    );
     println!("Shape check vs [38]: a broad plateau — the forest is insensitive to both knobs.");
 }

@@ -21,7 +21,10 @@ use opprentice_learn::{Classifier, RandomForest};
 fn main() {
     let opts = RunOpts::from_args();
     println!("Extension: plugging three emerging detectors into Opprentice (no tuning)\n");
-    println!("{:<6} {:>16} {:>16} {:>8}", "KPI", "133 features", "143 features", "delta");
+    println!(
+        "{:<6} {:>16} {:>16} {:>8}",
+        "KPI", "133 features", "143 features", "delta"
+    );
 
     let mut rows = Vec::new();
     for spec in presets::all() {

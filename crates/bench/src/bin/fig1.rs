@@ -20,7 +20,12 @@ fn main() {
             .filter(|w| w.start >= ppw && w.end <= 2 * ppw)
             .map(|w| (w.start - ppw, w.end - ppw))
             .collect();
-        println!("{} (week 2, {} points, {} anomalous windows)", kpi.name, week.len(), anomalies.len());
+        println!(
+            "{} (week 2, {} points, {} anomalous windows)",
+            kpi.name,
+            week.len(),
+            anomalies.len()
+        );
         println!("  {}", sparkline(week.values(), 96));
         // A marker line showing where the anomalies sit.
         let mut marks = vec![' '; 96];
@@ -38,7 +43,11 @@ fn main() {
             .enumerate()
             .map(|(i, (ts, v))| {
                 let anomalous = kpi.truth.is_anomaly(ppw + i);
-                format!("{ts},{},{}", v.map(|x| x.to_string()).unwrap_or_default(), u8::from(anomalous))
+                format!(
+                    "{ts},{},{}",
+                    v.map(|x| x.to_string()).unwrap_or_default(),
+                    u8::from(anomalous)
+                )
             })
             .collect();
         opprentice_bench::write_csv(

@@ -81,10 +81,17 @@ fn main() {
         let (train_full, _) = run.matrix.dataset(run.truth(), 0..split);
         let (test_full, _) = run.matrix.dataset(run.truth(), split..run.matrix.len());
         // Rank features by MI on the training set.
-        let ranked: Vec<usize> = rank_features(&train_full).into_iter().map(|(c, _)| c).collect();
+        let ranked: Vec<usize> = rank_features(&train_full)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
 
         println!("== KPI: {} ==", run.kpi.name);
-        println!("{:<22} {}", "algorithm", FEATURE_COUNTS.map(|k| format!("{k:>6}")).join(""));
+        println!(
+            "{:<22} {}",
+            "algorithm",
+            FEATURE_COUNTS.map(|k| format!("{k:>6}")).join("")
+        );
         for (name, mut fit) in algorithms(&opts) {
             let mut line = format!("{name:<22} ");
             for &k in &FEATURE_COUNTS {
@@ -92,8 +99,9 @@ fn main() {
                 let train = train_full.select_features(cols);
                 let test = test_full.select_features(cols);
                 let model = fit(&train);
-                let scores: Vec<Option<f64>> =
-                    (0..test.len()).map(|i| Some(model.score(test.row(i)))).collect();
+                let scores: Vec<Option<f64>> = (0..test.len())
+                    .map(|i| Some(model.score(test.row(i))))
+                    .collect();
                 let auc = auc_pr_of(&scores, test.labels());
                 line.push_str(&format!("{auc:>6.3}"));
                 rows.push(format!("{},{name},{k},{auc:.4}", run.kpi.name));

@@ -47,7 +47,14 @@ fn main() {
             per_strategy.push((id, aucs));
         }
         let windows = per_strategy[0].1.len();
-        println!("{:<8} {}", "window", per_strategy.iter().map(|(id, _)| format!("{id:>8}")).collect::<String>());
+        println!(
+            "{:<8} {}",
+            "window",
+            per_strategy
+                .iter()
+                .map(|(id, _)| format!("{id:>8}"))
+                .collect::<String>()
+        );
         for w in 0..windows {
             print!("{w:<8} ");
             for (_, aucs) in &per_strategy {

@@ -31,7 +31,10 @@ fn pct_in_box(points: &[PrPoint], pref: &Preference) -> f64 {
     if points.is_empty() {
         return 0.0;
     }
-    let inside = points.iter().filter(|p| pref.satisfied_by(p.recall, p.precision)).count();
+    let inside = points
+        .iter()
+        .filter(|p| pref.satisfied_by(p.recall, p.precision))
+        .count();
     100.0 * inside as f64 / points.len() as f64
 }
 
@@ -41,7 +44,10 @@ fn main() {
 
     let preferences = [
         ("moderate", Preference::moderate()),
-        ("sensitive-to-precision", Preference::sensitive_to_precision()),
+        (
+            "sensitive-to-precision",
+            Preference::sensitive_to_precision(),
+        ),
         ("sensitive-to-recall", Preference::sensitive_to_recall()),
     ];
 
@@ -51,7 +57,11 @@ fn main() {
         let outcomes = ev.run(TrainingStrategy::AllHistory, EvalPlan::weekly());
         let curves: Vec<Vec<PrPoint>> = outcomes.into_iter().map(|o| o.curve).collect();
 
-        println!("== KPI: {} ({} weekly test sets) ==", run.kpi.name, curves.len());
+        println!(
+            "== KPI: {} ({} weekly test sets) ==",
+            run.kpi.name,
+            curves.len()
+        );
         for (pname, pref) in &preferences {
             let metrics = [
                 ("PC-Score", CthldMetric::PcScore(*pref)),
@@ -59,7 +69,10 @@ fn main() {
                 ("F-Score", CthldMetric::FScore),
                 ("SD(1,1)", CthldMetric::Sd11),
             ];
-            println!("  preference {pname} (r>={}, p>={}):", pref.recall, pref.precision);
+            println!(
+                "  preference {pname} (r>={}, p>={}):",
+                pref.recall, pref.precision
+            );
             print!("    {:<16}", "scale ratio ->");
             for r in SCALE_RATIOS {
                 print!("{r:>7.1}");
@@ -71,17 +84,18 @@ fn main() {
                 for ratio in SCALE_RATIOS {
                     let pct = pct_in_box(&points, &pref.scaled(ratio));
                     print!("{pct:>6.0}%");
-                    rows.push(format!(
-                        "{},{pname},{mname},{ratio},{pct:.1}",
-                        run.kpi.name
-                    ));
+                    rows.push(format!("{},{pname},{mname},{ratio},{pct:.1}", run.kpi.name));
                 }
                 println!();
             }
         }
         println!();
     }
-    write_csv("fig12.csv", "kpi,preference,metric,scale_ratio,pct_in_box", &rows);
+    write_csv(
+        "fig12.csv",
+        "kpi,preference,metric,scale_ratio,pct_in_box",
+        &rows,
+    );
     println!("Shape check vs paper: PC-Score matches or beats the other metrics' in-box");
     println!("percentage at every scale ratio, and adapts across the three preferences.");
 }

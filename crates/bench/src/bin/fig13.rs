@@ -35,12 +35,16 @@ fn main() {
         // Per-point scores over the whole test span.
         let mut scores: Vec<Option<f64>> = vec![None; span];
         for o in &outcomes {
-            scores[o.points.start - test_start..o.points.end - test_start].clone_from_slice(&o.scores);
+            scores[o.points.start - test_start..o.points.end - test_start]
+                .clone_from_slice(&o.scores);
         }
         let truth = &run.truth().flags()[test_start..test_end];
 
         // Method 1: best case (oracle per-week cThld).
-        let best_weekly: Vec<f64> = outcomes.iter().map(|o| o.best_cthld(&pref).unwrap_or(0.5)).collect();
+        let best_weekly: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.best_cthld(&pref).unwrap_or(0.5))
+            .collect();
 
         // Method 2: EWMA prediction, initialized by 5-fold on the first
         // 8-week training set.
@@ -77,13 +81,28 @@ fn main() {
         let window = 4 * run.ppw;
         let step = run.ppw / 7; // one day
 
-        println!("== KPI: {} ({} weekly test sets) ==", run.kpi.name, outcomes.len());
+        println!(
+            "== KPI: {} ({} weekly test sets) ==",
+            run.kpi.name,
+            outcomes.len()
+        );
         let mut in_box = Vec::new();
-        for (name, weekly) in [("best case", &best_weekly), ("EWMA", &ewma_weekly), ("5-fold", &fold_weekly)] {
+        for (name, weekly) in [
+            ("best case", &best_weekly),
+            ("EWMA", &ewma_weekly),
+            ("5-fold", &fold_weekly),
+        ] {
             let cthlds = expand(weekly);
             let points = moving_window_metrics(&scores, &cthlds, truth, window, step.max(1));
-            let inside = points.iter().filter(|p| pref.satisfied_by(p.recall, p.precision)).count();
-            let pct = if points.is_empty() { 0.0 } else { 100.0 * inside as f64 / points.len() as f64 };
+            let inside = points
+                .iter()
+                .filter(|p| pref.satisfied_by(p.recall, p.precision))
+                .count();
+            let pct = if points.is_empty() {
+                0.0
+            } else {
+                100.0 * inside as f64 / points.len() as f64
+            };
             println!(
                 "  {:<10} {:>4}/{:<4} windows inside the preference region ({pct:.0}%)",
                 name,
@@ -111,6 +130,10 @@ fn main() {
             100.0 * flagged as f64 / span as f64
         );
     }
-    write_csv("fig13.csv", "kpi,method,window_start,recall,precision", &rows);
+    write_csv(
+        "fig13.csv",
+        "kpi,method,window_start,recall,precision",
+        &rows,
+    );
     println!("Shape check vs paper: best case >= EWMA >= 5-fold on in-region window counts.");
 }

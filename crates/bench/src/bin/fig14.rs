@@ -29,7 +29,10 @@ fn main() {
         for m in &session.months {
             println!("  {:<7} {:>9} {:>9.2}", m.month, m.windows, m.minutes);
             assert!(m.minutes < 6.0, "month exceeded the paper's 6-minute bound");
-            rows.push(format!("{},{},{},{:.3}", kpi.name, m.month, m.windows, m.minutes));
+            rows.push(format!(
+                "{},{},{},{:.3}",
+                kpi.name, m.month, m.windows, m.minutes
+            ));
         }
         println!();
     }

@@ -17,7 +17,10 @@ fn main() {
     let (ds, _) = run.matrix.dataset(run.truth(), 0..run.matrix.len());
 
     // A compact tree (the paper's figure is depth 3).
-    let mut tree = DecisionTree::new(TreeParams { max_depth: Some(3), ..Default::default() });
+    let mut tree = DecisionTree::new(TreeParams {
+        max_depth: Some(3),
+        ..Default::default()
+    });
     tree.fit(&ds);
 
     println!("Figure 5: compact decision tree learned from SRT\n");
@@ -28,7 +31,10 @@ fn main() {
     opprentice_bench::write_csv(
         "fig5.csv",
         "rendered_tree",
-        &rendered.lines().map(|l| format!("\"{l}\"")).collect::<Vec<_>>(),
+        &rendered
+            .lines()
+            .map(|l| format!("\"{l}\""))
+            .collect::<Vec<_>>(),
     );
     println!("Shape check vs paper: the root split uses a seasonal/subspace detector's severity,");
     println!("and the tree classifies with a handful of if-then rules on detector severities.");

@@ -29,16 +29,28 @@ fn main() {
     let mut forest = RandomForest::new(params);
     forest.fit(&train);
     let scores: Vec<Option<f64>> = (split..run.matrix.len())
-        .map(|i| run.matrix.usable(i).then(|| forest.score(run.matrix.row(i))))
+        .map(|i| {
+            run.matrix
+                .usable(i)
+                .then(|| forest.score(run.matrix.row(i)))
+        })
         .collect();
     let curve = pr_curve(&scores, &run.truth().flags()[split..]);
 
     println!("Figure 6: PR curve of a random forest on PV + cThld selections\n");
-    let pref1 = Preference { recall: 0.75, precision: 0.6 };
-    let pref2 = Preference { recall: 0.5, precision: 0.9 };
+    let pref1 = Preference {
+        recall: 0.75,
+        precision: 0.6,
+    };
+    let pref2 = Preference {
+        recall: 0.5,
+        precision: 0.9,
+    };
 
-    let mut rows: Vec<String> =
-        curve.iter().map(|p| format!("curve,,{:.4},{:.4}", p.recall, p.precision)).collect();
+    let mut rows: Vec<String> = curve
+        .iter()
+        .map(|p| format!("curve,,{:.4},{:.4}", p.recall, p.precision))
+        .collect();
     let mut show = |name: &str, metric: CthldMetric| {
         if let Some(p) = select_operating_point(&curve, metric) {
             println!(
@@ -48,7 +60,10 @@ fn main() {
             rows.push(format!("point,{name},{:.4},{:.4}", p.recall, p.precision));
             for (pname, pref) in [("pref1", &pref1), ("pref2", &pref2)] {
                 if pref.satisfied_by(p.recall, p.precision) {
-                    println!("{:<26}   -> satisfies {pname} (r>={}, p>={})", "", pref.recall, pref.precision);
+                    println!(
+                        "{:<26}   -> satisfies {pname} (r>={}, p>={})",
+                        "", pref.recall, pref.precision
+                    );
                 }
             }
         }

@@ -41,9 +41,13 @@ fn main() {
             let mean = finite.iter().sum::<f64>() / finite.len() as f64;
             let global_dev: f64 =
                 finite.iter().map(|b| (b - mean).abs()).sum::<f64>() / finite.len() as f64;
-            let var: f64 = finite.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / finite.len() as f64;
+            let var: f64 =
+                finite.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / finite.len() as f64;
             let lag1: f64 = if var > 0.0 {
-                finite.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+                finite
+                    .windows(2)
+                    .map(|w| (w[0] - mean) * (w[1] - mean))
+                    .sum::<f64>()
                     / ((finite.len() - 1) as f64 * var)
             } else {
                 0.0

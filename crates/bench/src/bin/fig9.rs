@@ -37,7 +37,11 @@ fn main() {
             .map(|(rank, label, auc)| format!("{rank},\"{label}\",{auc:.4}"))
             .collect();
         let stem = cmp.kpi_name.replace('#', "");
-        write_csv(&format!("fig9_{stem}_ranking.csv"), "rank,approach,aucpr", &rows);
+        write_csv(
+            &format!("fig9_{stem}_ranking.csv"),
+            "rank,approach,aucpr",
+            &rows,
+        );
 
         // CSV: PR curves of RF, combiners and the top-3 basic detectors.
         let mut pr_rows = Vec::new();
@@ -53,7 +57,11 @@ fn main() {
                 pr_rows.push(format!("\"{label}\",{:.4},{:.4}", p.recall, p.precision));
             }
         }
-        write_csv(&format!("fig9_{stem}_pr_curves.csv"), "approach,recall,precision", &pr_rows);
+        write_csv(
+            &format!("fig9_{stem}_pr_curves.csv"),
+            "approach,recall,precision",
+            &pr_rows,
+        );
         println!();
     }
     println!("Shape check vs paper: RF ranks at/near the top on every KPI; combiners rank low;");

@@ -37,14 +37,13 @@ fn main() {
         );
         rows.push(format!(
             "{},{},{},{},{:.4},{:.4}",
-            kpi.name,
-            spec.interval,
-            spec.weeks,
-            band,
-            cv,
-            ratio
+            kpi.name, spec.interval, spec.weeks, band, cv, ratio
         ));
     }
-    opprentice_bench::write_csv("table1.csv", "kpi,interval_s,weeks,seasonality,cv,anomaly_ratio", &rows);
+    opprentice_bench::write_csv(
+        "table1.csv",
+        "kpi,interval_s,weeks,seasonality,cv,anomaly_ratio",
+        &rows,
+    );
     println!("\nPaper: PV 1min/25wk/strong/0.48/7.8%  #SR 1min/19wk/weak/2.1/2.8%  SRT 60min/16wk/moderate/0.07/7.4%");
 }

@@ -9,11 +9,18 @@ use std::collections::BTreeMap;
 
 fn main() {
     let reg = registry(60);
-    assert_eq!(reg.len(), CONFIG_COUNT, "registry must have exactly 133 configurations");
+    assert_eq!(
+        reg.len(),
+        CONFIG_COUNT,
+        "registry must have exactly 133 configurations"
+    );
 
     let mut by_detector: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
     for c in &reg {
-        by_detector.entry(c.detector.name()).or_default().push(c.detector.config());
+        by_detector
+            .entry(c.detector.name())
+            .or_default()
+            .push(c.detector.config());
     }
 
     println!("Table 3: basic detectors and sampled parameters\n");

@@ -25,7 +25,9 @@ fn main() {
 
         let mut report = |label: &str, curve: &[opprentice_learn::PrPoint]| {
             let p = max_precision_at_recall(curve, MIN_RECALL);
-            let shown = p.map(|v| format!("{v:.3}")).unwrap_or_else(|| "unreached".into());
+            let shown = p
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "unreached".into());
             println!("{:<44} {:>10}", label, shown);
             rows.push(format!(
                 "{},\"{}\",{}",
@@ -43,7 +45,11 @@ fn main() {
         }
         println!();
     }
-    write_csv("table4.csv", "kpi,approach,max_precision_at_recall_0.66", &rows);
+    write_csv(
+        "table4.csv",
+        "kpi,approach,max_precision_at_recall_0.66",
+        &rows,
+    );
     println!("Shape check vs paper: RF precision high on every KPI (paper: 0.83/0.87/0.89),");
     println!("combiners far below (paper: 0.11-0.32), best basic detector differs per KPI.");
 }

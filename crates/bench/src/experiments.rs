@@ -41,7 +41,11 @@ impl ApproachComparison {
         // Static combiners, scales fit on the initial training span.
         let norm = combiners::normalization_schema(&run.matrix, 0..test_start, test_start..n);
         let norm_curve = pr_curve(&norm, truth_test);
-        approaches.push(("normalization schema".to_string(), auc_pr(&norm_curve), norm_curve));
+        approaches.push((
+            "normalization schema".to_string(),
+            auc_pr(&norm_curve),
+            norm_curve,
+        ));
         let vote = combiners::majority_vote(&run.matrix, 0..test_start, test_start..n);
         let vote_curve = pr_curve(&vote, truth_test);
         approaches.push(("majority vote".to_string(), auc_pr(&vote_curve), vote_curve));
@@ -54,7 +58,10 @@ impl ApproachComparison {
             approaches.push((run.matrix.feature_labels()[c].clone(), auc, curve));
         }
 
-        Self { kpi_name: run.kpi.name.clone(), approaches }
+        Self {
+            kpi_name: run.kpi.name.clone(),
+            approaches,
+        }
     }
 
     /// AUCPR ranking, best first: `(rank, label, aucpr)`.
@@ -69,7 +76,13 @@ impl ApproachComparison {
         order
             .into_iter()
             .enumerate()
-            .map(|(rank, i)| (rank + 1, self.approaches[i].0.as_str(), self.approaches[i].1))
+            .map(|(rank, i)| {
+                (
+                    rank + 1,
+                    self.approaches[i].0.as_str(),
+                    self.approaches[i].1,
+                )
+            })
             .collect()
     }
 

@@ -56,7 +56,11 @@ impl RunOpts {
 
     /// Forest size: big enough for fine-grained vote probabilities.
     pub fn forest_params(&self) -> RandomForestParams {
-        RandomForestParams { n_trees: if self.full { 60 } else { 50 }, seed: 42, ..Default::default() }
+        RandomForestParams {
+            n_trees: if self.full { 60 } else { 50 },
+            seed: 42,
+            ..Default::default()
+        }
     }
 
     /// Size-aware forest parameters: small KPIs (like the 60-minute SRT)
@@ -116,7 +120,12 @@ pub fn prepare(spec: &KpiSpec, opts: &RunOpts) -> KpiRun {
         matrix.n_features(),
         t0.elapsed()
     );
-    KpiRun { kpi, session, matrix, ppw }
+    KpiRun {
+        kpi,
+        session,
+        matrix,
+        ppw,
+    }
 }
 
 /// The three studied KPIs, prepared in the paper's order.

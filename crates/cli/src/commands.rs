@@ -3,9 +3,9 @@
 use crate::csvio;
 use opprentice::cthld::{best_cthld, Preference};
 use opprentice::evaluate::Evaluator;
+use opprentice::extract_features;
 use opprentice::postprocess::{group_alerts, DurationFilter};
 use opprentice::strategy::{EvalPlan, TrainingStrategy};
-use opprentice::extract_features;
 use opprentice_datagen::presets;
 use opprentice_learn::metrics::{pr_curve, precision_recall};
 use opprentice_learn::{auc_pr, Classifier, RandomForest, RandomForestParams};
@@ -40,7 +40,8 @@ impl Options {
     }
 
     fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("`--{key}` is required"))
+        self.get(key)
+            .ok_or_else(|| format!("`--{key}` is required"))
     }
 
     /// Public variant of [`Options::required`] for sibling modules.
@@ -62,12 +63,17 @@ impl Options {
     {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|e| format!("bad `--{key}` value `{v}`: {e}")),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad `--{key}` value `{v}`: {e}")),
         }
     }
 
     fn forest_params(&self) -> Result<RandomForestParams, String> {
-        Ok(RandomForestParams { n_trees: self.num("trees", 50usize)?, ..Default::default() })
+        Ok(RandomForestParams {
+            n_trees: self.num("trees", 50usize)?,
+            ..Default::default()
+        })
     }
 
     fn preference(&self) -> Result<Preference, String> {
@@ -95,7 +101,9 @@ pub fn generate(opts: &Options) -> Result<(), String> {
         spec.weeks = weeks.parse().map_err(|e| format!("bad --weeks: {e}"))?;
     }
     if let Some(interval) = opts.get("interval") {
-        let interval: u32 = interval.parse().map_err(|e| format!("bad --interval: {e}"))?;
+        let interval: u32 = interval
+            .parse()
+            .map_err(|e| format!("bad --interval: {e}"))?;
         spec = presets::fast(&spec, interval);
     }
     if let Some(seed) = opts.get("seed") {
@@ -126,7 +134,9 @@ pub fn detect(opts: &Options) -> Result<(), String> {
     let ppw = data.series.points_per_week();
     let split = (train_weeks * ppw).min(matrix.len());
     if split == 0 || split == matrix.len() {
-        return Err(format!("--train-weeks {train_weeks} leaves no training or no test data"));
+        return Err(format!(
+            "--train-weeks {train_weeks} leaves no training or no test data"
+        ));
     }
 
     let (train, _) = matrix.dataset(&data.labels, 0..split);
@@ -147,13 +157,23 @@ pub fn detect(opts: &Options) -> Result<(), String> {
     let probs: Vec<Option<f64>> = (split..matrix.len())
         .map(|i| matrix.usable(i).then(|| forest.score(matrix.row(i))))
         .collect();
-    let raw: Vec<bool> = probs.iter().map(|p| p.is_some_and(|p| p >= cthld)).collect();
+    let raw: Vec<bool> = probs
+        .iter()
+        .map(|p| p.is_some_and(|p| p >= cthld))
+        .collect();
     let filtered = DurationFilter::apply(min_duration, &raw);
     let truth = &data.labels.flags()[split..];
     let (recall, precision) = precision_recall(&filtered, truth);
 
-    println!("trained on {train_weeks} weeks ({} samples, {} anomalous)", train.len(), train.positives());
-    println!("cThld {cthld:.3} for preference recall>={} precision>={}", pref.recall, pref.precision);
+    println!(
+        "trained on {train_weeks} weeks ({} samples, {} anomalous)",
+        train.len(),
+        train.positives()
+    );
+    println!(
+        "cThld {cthld:.3} for preference recall>={} precision>={}",
+        pref.recall, pref.precision
+    );
     let masked: Vec<Option<f64>> = probs
         .iter()
         .zip(&filtered)
@@ -164,7 +184,11 @@ pub fn detect(opts: &Options) -> Result<(), String> {
     for a in alerts.iter().take(20) {
         let from = data.series.timestamp_at(split + a.window.start);
         let to = data.series.timestamp_at(split + a.window.end - 1);
-        println!("  t={from}..{to}  {} point(s)  peak p={:.2}", a.window.len(), a.peak_probability);
+        println!(
+            "  t={from}..{to}  {} point(s)  peak p={:.2}",
+            a.window.len(),
+            a.peak_probability
+        );
     }
     if alerts.len() > 20 {
         println!("  … and {} more", alerts.len() - 20);
@@ -183,17 +207,27 @@ pub fn evaluate(opts: &Options) -> Result<(), String> {
     let ppw = data.series.points_per_week();
     let mut ev = Evaluator::new(&matrix, &data.labels, ppw);
     ev.forest_params = opts.forest_params()?;
-    let plan = EvalPlan { initial_train_weeks: train_weeks, test_weeks: 1 };
+    let plan = EvalPlan {
+        initial_train_weeks: train_weeks,
+        test_weeks: 1,
+    };
     let outcomes = ev.run(TrainingStrategy::AllHistory, plan);
     if outcomes.is_empty() {
         return Err("not enough data beyond the training prefix".to_string());
     }
 
-    println!("{:<8} {:>8} {:>12} {:>9} {:>11}", "week", "AUCPR", "best cThld", "recall", "precision");
+    println!(
+        "{:<8} {:>8} {:>12} {:>9} {:>11}",
+        "week", "AUCPR", "best cThld", "recall", "precision"
+    );
     for o in &outcomes {
         match best_cthld(&o.curve, &pref) {
             Some(c) => {
-                let p = o.curve.iter().find(|p| p.threshold == c).expect("point on curve");
+                let p = o
+                    .curve
+                    .iter()
+                    .find(|p| p.threshold == c)
+                    .expect("point on curve");
                 println!(
                     "{:<8} {:>8.3} {:>12.3} {:>9.2} {:>11.2}",
                     o.test_weeks.start + 1,
@@ -203,7 +237,11 @@ pub fn evaluate(opts: &Options) -> Result<(), String> {
                     p.precision
                 );
             }
-            None => println!("{:<8} {:>8} (no labeled anomalies)", o.test_weeks.start + 1, "-"),
+            None => println!(
+                "{:<8} {:>8} (no labeled anomalies)",
+                o.test_weeks.start + 1,
+                "-"
+            ),
         }
     }
     let mean: f64 = outcomes.iter().map(|o| o.auc_pr).sum::<f64>() / outcomes.len() as f64;
@@ -222,7 +260,9 @@ pub fn rank(opts: &Options) -> Result<(), String> {
         let auc = auc_pr(&pr_curve(&scores, data.labels.flags()));
         let label = &matrix.feature_labels()[c];
         let (family, config) = label.split_once(" (").unwrap_or((label.as_str(), ""));
-        let entry = best.entry(family.to_string()).or_insert_with(|| (String::new(), f64::MIN));
+        let entry = best
+            .entry(family.to_string())
+            .or_insert_with(|| (String::new(), f64::MIN));
         if auc > entry.1 {
             *entry = (config.trim_end_matches(')').to_string(), auc);
         }
@@ -230,7 +270,10 @@ pub fn rank(opts: &Options) -> Result<(), String> {
     let mut ranked: Vec<(String, (String, f64))> = best.into_iter().collect();
     ranked.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).expect("finite AUCPR"));
 
-    println!("{:<22} {:<30} {:>7}", "detector family", "best configuration", "AUCPR");
+    println!(
+        "{:<22} {:<30} {:>7}",
+        "detector family", "best configuration", "AUCPR"
+    );
     for (family, (config, auc)) in &ranked {
         println!("{family:<22} {config:<30} {auc:>7.3}");
     }

@@ -29,7 +29,10 @@ pub fn read(path: &Path) -> Result<LabeledCsv, String> {
         let mut fields = line.split(',');
         let (Some(ts), Some(value), Some(label)) = (fields.next(), fields.next(), fields.next())
         else {
-            return Err(format!("line {}: expected 3 comma-separated fields", lineno + 1));
+            return Err(format!(
+                "line {}: expected 3 comma-separated fields",
+                lineno + 1
+            ));
         };
         let Ok(ts) = ts.trim().parse::<i64>() else {
             if lineno == 0 {
@@ -39,12 +42,20 @@ pub fn read(path: &Path) -> Result<LabeledCsv, String> {
         };
         let value = match value.trim() {
             "" | "nan" | "NaN" => None,
-            v => Some(v.parse::<f64>().map_err(|e| format!("line {}: bad value `{v}`: {e}", lineno + 1))?),
+            v => Some(
+                v.parse::<f64>()
+                    .map_err(|e| format!("line {}: bad value `{v}`: {e}", lineno + 1))?,
+            ),
         };
         let label = match label.trim() {
             "0" | "false" => false,
             "1" | "true" => true,
-            other => return Err(format!("line {}: bad label `{other}` (use 0/1)", lineno + 1)),
+            other => {
+                return Err(format!(
+                    "line {}: bad label `{other}` (use 0/1)",
+                    lineno + 1
+                ))
+            }
         };
         rows.push((ts, value, label));
     }

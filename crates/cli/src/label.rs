@@ -156,7 +156,10 @@ pub fn run_session(
                 break;
             }
             "q" => break,
-            other => w(out, &format!("unknown command `{other}` (n p + - g m u w q)\n"))?,
+            other => w(
+                out,
+                &format!("unknown command `{other}` (n p + - g m u w q)\n"),
+            )?,
         }
         w(out, &render(data, start, page))?;
     }
@@ -169,7 +172,11 @@ pub fn run_session(
             "session: {actions} label action(s), {windows} anomalous window(s), {seconds:.1}s\n"
         ),
     )?;
-    Ok(SessionReport { actions, written, seconds })
+    Ok(SessionReport {
+        actions,
+        written,
+        seconds,
+    })
 }
 
 /// Entry point for `opprentice label --data <file>`.
@@ -193,7 +200,8 @@ mod tests {
     use std::io::Cursor;
 
     fn sample(n: usize) -> (LabeledCsv, PathBuf) {
-        let path = std::env::temp_dir().join(format!("opprentice_label_{}_{n}.csv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("opprentice_label_{}_{n}.csv", std::process::id()));
         let series = opprentice_timeseries::TimeSeries::from_values(
             0,
             60,

@@ -24,12 +24,17 @@ impl ProtocolClient {
     pub fn connect(addr: &str) -> Result<Self, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         let writer = stream.try_clone().map_err(|e| e.to_string())?;
-        Ok(Self { reader: BufReader::new(stream), writer })
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
     }
 
     /// Sends one request line, returns the response line.
     pub fn send(&mut self, line: &str) -> Result<String, String> {
-        self.writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| e.to_string())?;
         self.writer.write_all(b"\n").map_err(|e| e.to_string())?;
         self.writer.flush().map_err(|e| e.to_string())?;
         let mut out = String::new();
@@ -68,12 +73,18 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         None => "nan".to_string(),
     };
     let flags_of = |range: std::ops::Range<usize>| -> String {
-        range.map(|i| if data.labels.is_anomaly(i) { '1' } else { '0' }).collect()
+        range
+            .map(|i| if data.labels.is_anomaly(i) { '1' } else { '0' })
+            .collect()
     };
 
     // Bootstrap: stream the labeled history, label it, train.
     for i in 0..bootstrap {
-        client.expect_ok(&format!("OBS {} {}", data.series.timestamp_at(i), fmt_value(i)))?;
+        client.expect_ok(&format!(
+            "OBS {} {}",
+            data.series.timestamp_at(i),
+            fmt_value(i)
+        ))?;
     }
     client.expect_ok(&format!("LABEL {}", flags_of(0..bootstrap)))?;
     let trained = client.expect_ok("RETRAIN")?;
@@ -84,8 +95,11 @@ pub fn replay(opts: &Options) -> Result<(), String> {
     let mut hits = 0usize;
     let mut week_start = bootstrap;
     for i in bootstrap..n {
-        let reply =
-            client.expect_ok(&format!("OBS {} {}", data.series.timestamp_at(i), fmt_value(i)))?;
+        let reply = client.expect_ok(&format!(
+            "OBS {} {}",
+            data.series.timestamp_at(i),
+            fmt_value(i)
+        ))?;
         if reply.contains("anomaly=1") {
             alerts += 1;
             if data.labels.is_anomaly(i) {
@@ -107,7 +121,11 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         }
     }
     let _ = client.send("QUIT");
-    let precision = if alerts == 0 { 1.0 } else { hits as f64 / alerts as f64 };
+    let precision = if alerts == 0 {
+        1.0
+    } else {
+        hits as f64 / alerts as f64
+    };
     println!("replay finished: {alerts} alerts, live precision {precision:.2}");
     Ok(())
 }
@@ -115,7 +133,7 @@ pub fn replay(opts: &Options) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use opprentice_server::Server;
+    use opprentice_server::{Server, ServerConfig};
 
     #[test]
     fn replay_against_in_process_server() {
@@ -134,8 +152,11 @@ mod tests {
         std::fs::write(&csv, body).unwrap();
 
         // In-process server on an ephemeral port.
-        let mut server = Server::bind("127.0.0.1:0").unwrap();
-        server.n_trees = 8;
+        let config = ServerConfig {
+            n_trees: 8,
+            ..Default::default()
+        };
+        let server = Server::bind_with("127.0.0.1:0", config).unwrap();
         let handle = server.handle();
         let join = std::thread::spawn(move || server.serve().unwrap());
 

@@ -76,7 +76,9 @@ pub fn majority_vote(
                 return None;
             }
             let row = matrix.row(i);
-            let votes = (0..m).filter(|&c| row[c] >= sthlds[c] && row[c] > 0.0).count();
+            let votes = (0..m)
+                .filter(|&c| row[c] >= sthlds[c] && row[c] > 0.0)
+                .count();
             Some(votes as f64 / m as f64)
         })
         .collect()

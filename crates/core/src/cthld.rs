@@ -22,17 +22,26 @@ pub struct Preference {
 impl Preference {
     /// The paper's studied preference: recall ≥ 0.66 and precision ≥ 0.66.
     pub fn moderate() -> Self {
-        Self { recall: 0.66, precision: 0.66 }
+        Self {
+            recall: 0.66,
+            precision: 0.66,
+        }
     }
 
     /// §5.5's "sensitive-to-precision": recall ≥ 0.6 and precision ≥ 0.8.
     pub fn sensitive_to_precision() -> Self {
-        Self { recall: 0.6, precision: 0.8 }
+        Self {
+            recall: 0.6,
+            precision: 0.8,
+        }
     }
 
     /// §5.5's "sensitive-to-recall": recall ≥ 0.8 and precision ≥ 0.6.
     pub fn sensitive_to_recall() -> Self {
-        Self { recall: 0.8, precision: 0.6 }
+        Self {
+            recall: 0.8,
+            precision: 0.6,
+        }
     }
 
     /// Whether an operating point satisfies the preference.
@@ -44,7 +53,10 @@ impl Preference {
     /// charts "lower" the preference by scaling the box up; requiring
     /// `r ≥ R/ratio` is the same box growth).
     pub fn scaled(&self, ratio: f64) -> Preference {
-        Preference { recall: self.recall / ratio, precision: self.precision / ratio }
+        Preference {
+            recall: self.recall / ratio,
+            precision: self.precision / ratio,
+        }
     }
 }
 
@@ -90,7 +102,11 @@ pub fn select_operating_point(curve: &[PrPoint], metric: CthldMetric) -> Option<
                 .rev()
                 .find(|p| p.threshold >= 0.5)
                 .copied()
-                .or(Some(PrPoint { threshold: 0.5, recall: 0.0, precision: 1.0 }))
+                .or(Some(PrPoint {
+                    threshold: 0.5,
+                    recall: 0.0,
+                    precision: 1.0,
+                }))
         }
         CthldMetric::FScore => curve
             .iter()
@@ -129,7 +145,11 @@ mod tests {
     use super::*;
 
     fn point(t: f64, r: f64, p: f64) -> PrPoint {
-        PrPoint { threshold: t, recall: r, precision: p }
+        PrPoint {
+            threshold: t,
+            recall: r,
+            precision: p,
+        }
     }
 
     /// A curve shaped like Fig. 6: high precision at low recall, decaying.
@@ -157,7 +177,10 @@ mod tests {
 
     #[test]
     fn satisfying_points_always_outrank_non_satisfying() {
-        let pref = Preference { recall: 0.5, precision: 0.9 };
+        let pref = Preference {
+            recall: 0.5,
+            precision: 0.9,
+        };
         // A barely-satisfying point vs a high-F non-satisfying point.
         assert!(pc_score(0.5, 0.9, &pref) > pc_score(0.95, 0.89, &pref));
     }
@@ -168,14 +191,20 @@ mod tests {
         // Preference (1): recall >= 0.75, precision >= 0.6.
         let p1 = select_operating_point(
             &curve,
-            CthldMetric::PcScore(Preference { recall: 0.75, precision: 0.6 }),
+            CthldMetric::PcScore(Preference {
+                recall: 0.75,
+                precision: 0.6,
+            }),
         )
         .unwrap();
         assert!(p1.recall >= 0.75 && p1.precision >= 0.6, "{p1:?}");
         // Preference (2): recall >= 0.5, precision >= 0.9.
         let p2 = select_operating_point(
             &curve,
-            CthldMetric::PcScore(Preference { recall: 0.5, precision: 0.9 }),
+            CthldMetric::PcScore(Preference {
+                recall: 0.5,
+                precision: 0.9,
+            }),
         )
         .unwrap();
         assert!(p2.recall >= 0.5 && p2.precision >= 0.9, "{p2:?}");
@@ -188,8 +217,14 @@ mod tests {
         let f1 = select_operating_point(&curve, CthldMetric::FScore).unwrap();
         let s1 = select_operating_point(&curve, CthldMetric::Sd11).unwrap();
         // Same answer regardless of any preference — they take none.
-        assert_eq!(f1, select_operating_point(&curve, CthldMetric::FScore).unwrap());
-        assert_eq!(s1, select_operating_point(&curve, CthldMetric::Sd11).unwrap());
+        assert_eq!(
+            f1,
+            select_operating_point(&curve, CthldMetric::FScore).unwrap()
+        );
+        assert_eq!(
+            s1,
+            select_operating_point(&curve, CthldMetric::Sd11).unwrap()
+        );
     }
 
     #[test]
@@ -197,7 +232,7 @@ mod tests {
         let curve = fig6_like_curve();
         let d = select_operating_point(&curve, CthldMetric::Default).unwrap();
         assert_eq!(d.threshold, 0.60); // lowest curve threshold >= 0.5
-        // All-below-0.5 curve: no detections.
+                                       // All-below-0.5 curve: no detections.
         let low = vec![point(0.3, 0.9, 0.9)];
         let d2 = select_operating_point(&low, CthldMetric::Default).unwrap();
         assert_eq!(d2.recall, 0.0);
@@ -209,8 +244,15 @@ mod tests {
         // §4.5.1: "in the case when a PR curve has no points inside the
         // preference region … it can still choose approximate recall and
         // precision."
-        let curve = vec![point(0.9, 0.2, 0.3), point(0.5, 0.4, 0.25), point(0.1, 0.6, 0.2)];
-        let pref = Preference { recall: 0.95, precision: 0.95 };
+        let curve = vec![
+            point(0.9, 0.2, 0.3),
+            point(0.5, 0.4, 0.25),
+            point(0.1, 0.6, 0.2),
+        ];
+        let pref = Preference {
+            recall: 0.95,
+            precision: 0.95,
+        };
         let chosen = select_operating_point(&curve, CthldMetric::PcScore(pref)).unwrap();
         let f_best = curve
             .iter()

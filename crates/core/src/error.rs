@@ -1,0 +1,100 @@
+//! Errors surfaced by the pipeline's ingestion API.
+//!
+//! The serving layer feeds [`crate::Opprentice`] from untrusted socket
+//! input, so misuse must surface as values, not panics: every condition a
+//! remote client can trigger maps to a [`PipelineError`] that the protocol
+//! layer renders as an `ERR` line while the process keeps running.
+
+/// A rejected pipeline operation. Each variant carries the numbers needed
+/// to render an actionable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineError {
+    /// `ingest_history` was called after points had been observed.
+    HistoryAfterObservations {
+        /// How many points had already been observed.
+        observed: usize,
+    },
+    /// The history series was sampled at a different interval than the
+    /// pipeline was configured for.
+    IntervalMismatch {
+        /// The pipeline's configured interval (seconds).
+        expected: u32,
+        /// The series' interval (seconds).
+        got: u32,
+    },
+    /// History series and labels disagree in length.
+    LengthMismatch {
+        /// Points in the series.
+        series: usize,
+        /// Flags in the labels.
+        labels: usize,
+    },
+    /// More labels arrived than there are unlabeled observed points.
+    LabelsBeyondData {
+        /// Points observed so far.
+        observed: usize,
+        /// Points already labeled.
+        labeled: usize,
+        /// Flags in the rejected batch.
+        incoming: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::HistoryAfterObservations { observed } => {
+                write!(
+                    f,
+                    "history must be ingested first ({observed} points already observed)"
+                )
+            }
+            PipelineError::IntervalMismatch { expected, got } => {
+                write!(
+                    f,
+                    "interval mismatch: pipeline uses {expected}s, series uses {got}s"
+                )
+            }
+            PipelineError::LengthMismatch { series, labels } => {
+                write!(
+                    f,
+                    "labels/series length mismatch: {series} points vs {labels} flags"
+                )
+            }
+            PipelineError::LabelsBeyondData {
+                observed,
+                labeled,
+                incoming,
+            } => {
+                write!(
+                    f,
+                    "labels beyond observed data: {incoming} flags but only {} unlabeled points",
+                    observed.saturating_sub(*labeled)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_numbers() {
+        let e = PipelineError::LabelsBeyondData {
+            observed: 10,
+            labeled: 4,
+            incoming: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('6'), "{msg}");
+        let e = PipelineError::IntervalMismatch {
+            expected: 60,
+            got: 300,
+        };
+        assert!(e.to_string().contains("60") && e.to_string().contains("300"));
+    }
+}

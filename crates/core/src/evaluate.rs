@@ -56,7 +56,12 @@ impl<'a> Evaluator<'a> {
     pub fn new(matrix: &'a FeatureMatrix, truth: &'a Labels, points_per_week: usize) -> Self {
         assert_eq!(matrix.len(), truth.len(), "matrix/labels length mismatch");
         assert!(points_per_week > 0, "points_per_week must be positive");
-        Self { matrix, truth, points_per_week, forest_params: RandomForestParams::default() }
+        Self {
+            matrix,
+            truth,
+            points_per_week,
+            forest_params: RandomForestParams::default(),
+        }
     }
 
     /// Whole weeks available.
@@ -77,7 +82,8 @@ impl<'a> Evaluator<'a> {
     /// Trains a forest on the usable points of the given week range.
     /// Returns `None` when the range yields no usable training data.
     pub fn train_forest(&self, train_weeks: Range<usize>) -> Option<RandomForest> {
-        let points = train_weeks.start * self.points_per_week..train_weeks.end * self.points_per_week;
+        let points =
+            train_weeks.start * self.points_per_week..train_weeks.end * self.points_per_week;
         let (ds, _) = self.matrix.dataset(self.truth, points);
         if ds.is_empty() || ds.positives() == 0 {
             return None;
@@ -91,7 +97,11 @@ impl<'a> Evaluator<'a> {
     /// unusable points).
     pub fn score_points(&self, forest: &RandomForest, points: Range<usize>) -> Vec<Option<f64>> {
         points
-            .map(|i| self.matrix.usable(i).then(|| forest.score(self.matrix.row(i))))
+            .map(|i| {
+                self.matrix
+                    .usable(i)
+                    .then(|| forest.score(self.matrix.row(i)))
+            })
             .collect()
     }
 
@@ -100,7 +110,8 @@ impl<'a> Evaluator<'a> {
         let mut out = Vec::new();
         for test_weeks in plan.test_windows(self.total_weeks()) {
             let train_weeks = strategy.train_weeks(test_weeks.start);
-            let points = test_weeks.start * self.points_per_week..test_weeks.end * self.points_per_week;
+            let points =
+                test_weeks.start * self.points_per_week..test_weeks.end * self.points_per_week;
             let scores = match self.train_forest(train_weeks) {
                 Some(forest) => self.score_points(&forest, points.clone()),
                 None => vec![None; points.len()],
@@ -108,7 +119,13 @@ impl<'a> Evaluator<'a> {
             let flags = &self.truth.flags()[points.clone()];
             let curve = pr_curve(&scores, flags);
             let auc = auc_pr(&curve);
-            out.push(WindowOutcome { test_weeks, points, scores, curve, auc_pr: auc });
+            out.push(WindowOutcome {
+                test_weeks,
+                points,
+                scores,
+                curve,
+                auc_pr: auc,
+            });
         }
         out
     }
@@ -120,8 +137,14 @@ impl<'a> Evaluator<'a> {
     /// the data starting from the 9th week").
     pub fn curve_of_scores(&self, scores: &[Option<f64>], from_week: usize) -> Vec<PrPoint> {
         let start = from_week * self.points_per_week;
-        assert!(scores.len() >= self.matrix.len(), "scores shorter than data");
-        pr_curve(&scores[start..self.matrix.len()], &self.truth.flags()[start..self.matrix.len()])
+        assert!(
+            scores.len() >= self.matrix.len(),
+            "scores shorter than data"
+        );
+        pr_curve(
+            &scores[start..self.matrix.len()],
+            &self.truth.flags()[start..self.matrix.len()],
+        )
     }
 }
 
@@ -151,7 +174,10 @@ pub fn moving_window_metrics(
 ) -> Vec<MovingWindowPoint> {
     assert_eq!(scores.len(), truth.len(), "scores/truth mismatch");
     assert_eq!(scores.len(), cthlds.len(), "scores/cthlds mismatch");
-    assert!(window_points > 0 && step_points > 0, "window and step must be positive");
+    assert!(
+        window_points > 0 && step_points > 0,
+        "window and step must be positive"
+    );
 
     let mut out = Vec::new();
     let mut start = 0usize;
@@ -167,7 +193,11 @@ pub fn moving_window_metrics(
         }
         if actual.iter().any(|&t| t) {
             let (recall, precision) = precision_recall(&predicted, &actual);
-            out.push(MovingWindowPoint { start, recall, precision });
+            out.push(MovingWindowPoint {
+                start,
+                recall,
+                precision,
+            });
         }
         start += step_points;
     }
@@ -191,7 +221,11 @@ mod tests {
             if anomalous {
                 labels.mark(i);
             }
-            let signal = if anomalous { 8.0 + ((i % 5) as f64) } else { (i % 4) as f64 };
+            let signal = if anomalous {
+                8.0 + ((i % 5) as f64)
+            } else {
+                (i % 4) as f64
+            };
             let row = [
                 Some(signal),
                 Some(((i * 13) % 11) as f64),
@@ -205,7 +239,11 @@ mod tests {
     }
 
     fn small_params() -> RandomForestParams {
-        RandomForestParams { n_trees: 12, seed: 3, ..Default::default() }
+        RandomForestParams {
+            n_trees: 12,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -263,7 +301,14 @@ mod tests {
 
     #[test]
     fn moving_window_metrics_computes_per_window_pr() {
-        let scores = vec![Some(0.9), Some(0.1), Some(0.8), Some(0.2), Some(0.7), Some(0.3)];
+        let scores = vec![
+            Some(0.9),
+            Some(0.1),
+            Some(0.8),
+            Some(0.2),
+            Some(0.7),
+            Some(0.3),
+        ];
         let cthlds = vec![0.5; 6];
         let truth = vec![true, false, true, false, false, true];
         let points = moving_window_metrics(&scores, &cthlds, &truth, 3, 3);

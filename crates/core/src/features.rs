@@ -7,8 +7,8 @@
 //! "no anomaly evidence" — and points whose *value* is missing are flagged
 //! unusable so training and evaluation skip them entirely (§4.3.2).
 
-use opprentice_detectors::registry::ConfiguredDetector;
 use opprentice_detectors::registry;
+use opprentice_detectors::registry::ConfiguredDetector;
 use opprentice_learn::Dataset;
 use opprentice_timeseries::{Labels, TimeSeries};
 
@@ -28,7 +28,12 @@ impl FeatureMatrix {
     /// Creates an empty matrix for incremental (online) extraction.
     pub fn new(feature_labels: Vec<String>) -> Self {
         assert!(!feature_labels.is_empty(), "need at least one feature");
-        Self { n_features: feature_labels.len(), data: Vec::new(), usable: Vec::new(), feature_labels }
+        Self {
+            n_features: feature_labels.len(),
+            data: Vec::new(),
+            usable: Vec::new(),
+            feature_labels,
+        }
     }
 
     /// Number of points.
@@ -64,7 +69,8 @@ impl FeatureMatrix {
     /// Appends one point's severities (`None` → 0.0).
     pub fn push_row(&mut self, severities: &[Option<f64>], usable: bool) {
         assert_eq!(severities.len(), self.n_features, "feature count mismatch");
-        self.data.extend(severities.iter().map(|s| s.unwrap_or(0.0)));
+        self.data
+            .extend(severities.iter().map(|s| s.unwrap_or(0.0)));
         self.usable.push(usable);
     }
 
@@ -160,7 +166,10 @@ pub fn extract_with(mut configs: Vec<ConfiguredDetector>, series: &TimeSeries) -
     let n = series.len();
     let m = configs.len();
 
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(m.max(1));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(m.max(1));
     let chunk = m.div_ceil(threads.max(1)).max(1);
 
     let mut columns: Vec<(usize, Vec<Option<f64>>)> = Vec::with_capacity(m);
@@ -222,12 +231,18 @@ impl OnlineExtractor {
     pub fn new(interval: u32) -> Self {
         let detectors = registry(interval);
         let m = detectors.len();
-        Self { detectors, row: vec![None; m] }
+        Self {
+            detectors,
+            row: vec![None; m],
+        }
     }
 
     /// Configuration labels, by column.
     pub fn labels(&self) -> Vec<String> {
-        self.detectors.iter().map(ConfiguredDetector::label).collect()
+        self.detectors
+            .iter()
+            .map(ConfiguredDetector::label)
+            .collect()
     }
 
     /// Feeds the next point to every detector, returning the severity row.
@@ -328,7 +343,10 @@ mod tests {
                 }
             }
         }
-        assert!((over as f64) < 0.03 * total as f64, "{over}/{total} above 1");
+        assert!(
+            (over as f64) < 0.03 * total as f64,
+            "{over}/{total} above 1"
+        );
     }
 
     #[test]

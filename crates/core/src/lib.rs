@@ -46,7 +46,7 @@
 //!     preference: Preference { recall: 0.66, precision: 0.66 },
 //!     ..OpprenticeConfig::default()
 //! });
-//! opp.ingest_history(&history, &labels);
+//! opp.ingest_history(&history, &labels).expect("fresh pipeline accepts history");
 //! opp.retrain();
 //!
 //! // Online detection: push points as they arrive.
@@ -59,14 +59,18 @@
 
 pub mod combiners;
 pub mod cthld;
+mod error;
 pub mod evaluate;
 pub mod features;
 mod pipeline;
 pub mod postprocess;
 pub mod predictor;
+pub mod snapshot;
 pub mod strategy;
 
 pub use cthld::{CthldMetric, Preference};
+pub use error::PipelineError;
 pub use features::{extract_features, FeatureMatrix};
 pub use pipeline::{Detection, Opprentice, OpprenticeConfig};
+pub use snapshot::{RecoveryError, SessionSnapshot, SnapshotError};
 pub use strategy::TrainingStrategy;

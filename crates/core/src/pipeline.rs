@@ -8,6 +8,7 @@
 //! this type.
 
 use crate::cthld::{best_cthld, Preference};
+use crate::error::PipelineError;
 use crate::features::{FeatureMatrix, OnlineExtractor};
 use crate::predictor::{five_fold_cthld, EwmaCthldPredictor};
 use opprentice_learn::metrics::pr_curve;
@@ -66,7 +67,15 @@ impl Opprentice {
         let extractor = OnlineExtractor::new(interval);
         let matrix = FeatureMatrix::new(extractor.labels());
         let predictor = EwmaCthldPredictor::new(config.cthld_alpha);
-        Self { config, interval, extractor, matrix, truth: Labels::all_normal(0), forest: None, predictor }
+        Self {
+            config,
+            interval,
+            extractor,
+            matrix,
+            truth: Labels::all_normal(0),
+            forest: None,
+            predictor,
+        }
     }
 
     /// Number of points observed so far.
@@ -81,7 +90,9 @@ impl Opprentice {
 
     /// The cThld currently in effect.
     pub fn current_cthld(&self) -> f64 {
-        self.predictor.predict().unwrap_or(self.config.fallback_cthld)
+        self.predictor
+            .predict()
+            .unwrap_or(self.config.fallback_cthld)
     }
 
     /// `true` once a classifier has been trained.
@@ -89,23 +100,83 @@ impl Opprentice {
         self.forest.is_some()
     }
 
+    /// The configuration the pipeline was created with.
+    pub fn config(&self) -> &OpprenticeConfig {
+        &self.config
+    }
+
+    /// The KPI sampling interval in seconds.
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// The operator labels accumulated so far.
+    pub fn labels(&self) -> &Labels {
+        &self.truth
+    }
+
+    /// The trained classifier, if any.
+    pub fn forest(&self) -> Option<&RandomForest> {
+        self.forest.as_ref()
+    }
+
+    /// The raw EWMA prediction state (`None` before initialization) —
+    /// exposed for snapshotting; [`Opprentice::current_cthld`] is the
+    /// operational view.
+    pub fn predicted_cthld(&self) -> Option<f64> {
+        self.predictor.predict()
+    }
+
+    /// Installs externally restored trained state (a decoded snapshot):
+    /// the classifier and the EWMA prediction. Observation and label state
+    /// are *not* touched — the caller rebuilds those by replaying the
+    /// write-ahead log, which is what keeps restored sessions scoring
+    /// identically to uninterrupted ones.
+    pub fn restore_trained_state(&mut self, forest: Option<RandomForest>, prediction: Option<f64>) {
+        self.forest = forest;
+        match prediction {
+            Some(c) => self.predictor.initialize(c),
+            None => self.predictor = EwmaCthldPredictor::new(self.config.cthld_alpha),
+        }
+    }
+
     /// Replays an already-labeled historical series through the detectors —
     /// the initial setup step ("operators … label anomalies in the
     /// historical data at the beginning", §4.1).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called after points have been observed, if the series
-    /// interval differs, or if labels and series lengths differ.
-    pub fn ingest_history(&mut self, series: &TimeSeries, labels: &Labels) {
-        assert!(self.matrix.is_empty(), "history must be ingested first");
-        assert_eq!(series.interval(), self.interval, "interval mismatch");
-        assert_eq!(series.len(), labels.len(), "labels/series length mismatch");
+    /// Fails without modifying the pipeline if called after points have
+    /// been observed, if the series interval differs, or if labels and
+    /// series lengths differ.
+    pub fn ingest_history(
+        &mut self,
+        series: &TimeSeries,
+        labels: &Labels,
+    ) -> Result<(), PipelineError> {
+        if !self.matrix.is_empty() {
+            return Err(PipelineError::HistoryAfterObservations {
+                observed: self.matrix.len(),
+            });
+        }
+        if series.interval() != self.interval {
+            return Err(PipelineError::IntervalMismatch {
+                expected: self.interval,
+                got: series.interval(),
+            });
+        }
+        if series.len() != labels.len() {
+            return Err(PipelineError::LengthMismatch {
+                series: series.len(),
+                labels: labels.len(),
+            });
+        }
         for (ts, v) in series {
             let row = self.extractor.observe(ts, v).to_vec();
             self.matrix.push_row(&row, v.is_some());
         }
         self.truth = labels.clone();
+        Ok(())
     }
 
     /// Feeds one incoming point; returns the verdict (or `None` when no
@@ -118,24 +189,33 @@ impl Opprentice {
         let features: Vec<f64> = row.iter().map(|s| s.unwrap_or(0.0)).collect();
         let probability = forest.predict_proba(&features);
         let cthld = self.current_cthld();
-        Some(Detection { probability, cthld, is_anomaly: probability >= cthld })
+        Some(Detection {
+            probability,
+            cthld,
+            is_anomaly: probability >= cthld,
+        })
     }
 
     /// Appends operator labels for the oldest `labels.len()` unlabeled
     /// points — the periodic (e.g. weekly) labeling session. "All the data
     /// are labeled only once" (§4.1).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more labels arrive than there are unlabeled points.
-    pub fn ingest_labels(&mut self, labels: &Labels) {
-        assert!(
-            self.truth.len() + labels.len() <= self.matrix.len(),
-            "labels beyond observed data"
-        );
+    /// Fails without modifying the pipeline if more labels arrive than
+    /// there are unlabeled points.
+    pub fn ingest_labels(&mut self, labels: &Labels) -> Result<(), PipelineError> {
+        if self.truth.len() + labels.len() > self.matrix.len() {
+            return Err(PipelineError::LabelsBeyondData {
+                observed: self.matrix.len(),
+                labeled: self.truth.len(),
+                incoming: labels.len(),
+            });
+        }
         for i in 0..labels.len() {
             self.truth.push(labels.is_anomaly(i));
         }
+        Ok(())
     }
 
     /// Incrementally retrains the classifier on all labeled data and
@@ -158,9 +238,7 @@ impl Opprentice {
         if let Some(old) = &self.forest {
             let week_start = labeled.saturating_sub(ppw);
             let scores: Vec<Option<f64>> = (week_start..labeled)
-                .map(|i| {
-                    self.matrix.usable(i).then(|| old.score(self.matrix.row(i)))
-                })
+                .map(|i| self.matrix.usable(i).then(|| old.score(self.matrix.row(i))))
                 .collect();
             let flags = &self.truth.flags()[week_start..labeled];
             let curve = pr_curve(&scores, flags);
@@ -210,7 +288,11 @@ mod tests {
 
     fn small_config() -> OpprenticeConfig {
         OpprenticeConfig {
-            forest: RandomForestParams { n_trees: 12, seed: 5, ..Default::default() },
+            forest: RandomForestParams {
+                n_trees: 12,
+                seed: 5,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -226,7 +308,7 @@ mod tests {
     fn trains_on_history_and_flags_spikes() {
         let (series, labels) = labeled_history(28);
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_history(&series, &labels);
+        opp.ingest_history(&series, &labels).unwrap();
         assert!(opp.retrain());
         assert!(opp.is_trained());
 
@@ -235,7 +317,10 @@ mod tests {
         let normal = opp.observe(t0, Some(100.0)).unwrap();
         // …and a huge spike scores high.
         let spike = opp.observe(t0 + i64::from(INTERVAL), Some(400.0)).unwrap();
-        assert!(spike.probability > normal.probability, "{spike:?} vs {normal:?}");
+        assert!(
+            spike.probability > normal.probability,
+            "{spike:?} vs {normal:?}"
+        );
         assert!(spike.is_anomaly);
     }
 
@@ -243,7 +328,7 @@ mod tests {
     fn missing_points_get_no_verdict_but_are_recorded() {
         let (series, labels) = labeled_history(28);
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_history(&series, &labels);
+        opp.ingest_history(&series, &labels).unwrap();
         opp.retrain();
         let before = opp.observed_len();
         assert_eq!(opp.observe(0, None), None);
@@ -254,7 +339,7 @@ mod tests {
     fn weekly_label_and_retrain_cycle() {
         let (series, labels) = labeled_history(21);
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_history(&series, &labels);
+        opp.ingest_history(&series, &labels).unwrap();
         assert!(opp.retrain());
 
         // A new week arrives unlabeled.
@@ -267,7 +352,8 @@ mod tests {
         assert_eq!(opp.labeled_len(), start);
 
         // The operator labels it; retraining folds it in.
-        opp.ingest_labels(&new_labels.slice(start..new_week.len()));
+        opp.ingest_labels(&new_labels.slice(start..new_week.len()))
+            .unwrap();
         assert_eq!(opp.labeled_len(), new_week.len());
         assert!(opp.retrain());
         // cThld prediction exists and is in range.
@@ -283,24 +369,87 @@ mod tests {
         }
         let labels = Labels::all_normal(200);
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_history(&series, &labels);
+        opp.ingest_history(&series, &labels).unwrap();
         assert!(!opp.retrain());
         assert!(!opp.is_trained());
     }
 
     #[test]
-    #[should_panic(expected = "labels beyond observed data")]
     fn over_labeling_rejected() {
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_labels(&Labels::all_normal(5));
+        assert_eq!(
+            opp.ingest_labels(&Labels::all_normal(5)),
+            Err(PipelineError::LabelsBeyondData {
+                observed: 0,
+                labeled: 0,
+                incoming: 5
+            })
+        );
+        // The rejected batch left no trace.
+        assert_eq!(opp.labeled_len(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "interval mismatch")]
     fn interval_mismatch_rejected() {
         let series = TimeSeries::from_values(0, 60, vec![1.0; 10]);
         let labels = Labels::all_normal(10);
         let mut opp = Opprentice::new(INTERVAL, small_config());
-        opp.ingest_history(&series, &labels);
+        assert_eq!(
+            opp.ingest_history(&series, &labels),
+            Err(PipelineError::IntervalMismatch {
+                expected: INTERVAL,
+                got: 60
+            })
+        );
+        assert_eq!(opp.observed_len(), 0);
+    }
+
+    #[test]
+    fn history_after_observations_rejected() {
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        assert_eq!(opp.observe(0, Some(1.0)), None);
+        let series = TimeSeries::from_values(0, INTERVAL, vec![1.0; 10]);
+        assert_eq!(
+            opp.ingest_history(&series, &Labels::all_normal(10)),
+            Err(PipelineError::HistoryAfterObservations { observed: 1 })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let series = TimeSeries::from_values(0, INTERVAL, vec![1.0; 10]);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        assert_eq!(
+            opp.ingest_history(&series, &Labels::all_normal(9)),
+            Err(PipelineError::LengthMismatch {
+                series: 10,
+                labels: 9
+            })
+        );
+    }
+
+    #[test]
+    fn restore_trained_state_round_trips_through_accessors() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels).unwrap();
+        assert!(opp.retrain());
+        let prediction = opp.predicted_cthld();
+        assert!(prediction.is_some());
+
+        // A fresh pipeline fed the same observations (but never retrained)
+        // plus the restored trained state must score identically.
+        let mut fresh = Opprentice::new(INTERVAL, small_config());
+        fresh.ingest_history(&series, &labels).unwrap();
+        let bytes = opp.forest().unwrap().to_bytes();
+        let forest = RandomForest::from_bytes(&bytes).unwrap();
+        fresh.restore_trained_state(Some(forest), prediction);
+        assert!(fresh.is_trained());
+
+        let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
+        for (i, v) in [100.0, 400.0, 130.0].into_iter().enumerate() {
+            let ts = t0 + i as i64 * i64::from(INTERVAL);
+            assert_eq!(opp.observe(ts, Some(v)), fresh.observe(ts, Some(v)));
+        }
     }
 }

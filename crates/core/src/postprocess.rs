@@ -31,7 +31,10 @@ impl DurationFilter {
     /// Panics if `min_points == 0`.
     pub fn new(min_points: usize) -> Self {
         assert!(min_points > 0, "min_points must be positive");
-        Self { min_points, pending: 0 }
+        Self {
+            min_points,
+            pending: 0,
+        }
     }
 
     /// Feeds one point verdict; returns the finalized verdicts released by
@@ -109,7 +112,10 @@ pub fn group_alerts(probabilities: &[Option<f64>], cthld: f64) -> Vec<Alert> {
             }
             (true, Some(_)) => peak = peak.max(p.expect("anomalous implies Some")),
             (false, Some(s)) => {
-                alerts.push(Alert { window: AnomalyWindow::new(s, i), peak_probability: peak });
+                alerts.push(Alert {
+                    window: AnomalyWindow::new(s, i),
+                    peak_probability: peak,
+                });
                 run_start = None;
             }
             (false, None) => {}
@@ -165,7 +171,11 @@ mod tests {
         for pattern in 0u32..64 {
             let input: Vec<bool> = (0..6).map(|b| pattern & (1 << b) != 0).collect();
             for min in 1..=4 {
-                assert_eq!(DurationFilter::apply(min, &input).len(), 6, "pattern {pattern} min {min}");
+                assert_eq!(
+                    DurationFilter::apply(min, &input).len(),
+                    6,
+                    "pattern {pattern} min {min}"
+                );
             }
         }
     }
@@ -185,14 +195,7 @@ mod tests {
 
     #[test]
     fn group_alerts_builds_windows_with_peaks() {
-        let probs = vec![
-            Some(0.1),
-            Some(0.8),
-            Some(0.9),
-            Some(0.2),
-            None,
-            Some(0.7),
-        ];
+        let probs = vec![Some(0.1), Some(0.8), Some(0.9), Some(0.2), None, Some(0.7)];
         let alerts = group_alerts(&probs, 0.6);
         assert_eq!(alerts.len(), 2);
         assert_eq!(alerts[0].window, AnomalyWindow::new(1, 3));

@@ -30,7 +30,10 @@ impl EwmaCthldPredictor {
     /// Panics if `alpha` is outside `[0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
-        Self { alpha, prediction: None }
+        Self {
+            alpha,
+            prediction: None,
+        }
     }
 
     /// The paper's configuration (α = 0.8).
@@ -87,7 +90,11 @@ fn fold_pc_scores(scores: &[f64], truth: &[bool], pref: &Preference) -> Vec<f64>
             // Number of samples with score >= c (pairs sorted descending).
             let count = pairs.partition_point(|(s, _)| *s >= c);
             let tp = prefix_tp[count];
-            let recall = if total_pos == 0.0 { 1.0 } else { tp / total_pos };
+            let recall = if total_pos == 0.0 {
+                1.0
+            } else {
+                tp / total_pos
+            };
             let precision = if count == 0 { 1.0 } else { tp / count as f64 };
             pc_score(recall, precision, pref)
         })
@@ -211,7 +218,10 @@ mod tests {
                 d.push(&[v], v >= 5.0);
             }
         }
-        let params = RandomForestParams { n_trees: 10, ..Default::default() };
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
         let c = five_fold_cthld(&d, &Preference::moderate(), &params);
         assert!(c > 0.05 && c < 0.95, "cthld {c}");
     }
@@ -222,7 +232,13 @@ mod tests {
         for i in 0..100 {
             all_normal.push(&[i as f64], false);
         }
-        let params = RandomForestParams { n_trees: 4, ..Default::default() };
-        assert_eq!(five_fold_cthld(&all_normal, &Preference::moderate(), &params), 0.5);
+        let params = RandomForestParams {
+            n_trees: 4,
+            ..Default::default()
+        };
+        assert_eq!(
+            five_fold_cthld(&all_normal, &Preference::moderate(), &params),
+            0.5
+        );
     }
 }

@@ -1,0 +1,539 @@
+//! Durable snapshots of a full [`Opprentice`] session (OPRF v2).
+//!
+//! The learn crate's OPRF v1 format persists only the trained trees; a
+//! crash-safe serving layer needs the *whole* trained state: the forest,
+//! the EWMA cThld prediction, the accumulated operator labels, and the
+//! configuration the session was created with. This module defines version
+//! 2 of the `OPRF` container capturing exactly that, plus the write-ahead
+//! log sequence number the snapshot corresponds to:
+//!
+//! ```text
+//! magic "OPRF" | version u16 = 2
+//! interval u32
+//! recall f64 | precision f64 | cthld_alpha f64 | fallback_cthld f64
+//! n_trees u32 | sample_fraction f64 | seed u64
+//! opt u8 (bit0 max_features, bit1 max_depth, bit2 n_bins) | [u32 each]
+//! prediction u8 | [f64]
+//! n_observed u64 | wal_seq u64
+//! n_labels u64 | ceil(n_labels/8) bytes, LSB-first
+//! forest u8 | [len u32 | OPRF v1 bytes]
+//! ```
+//!
+//! All integers little-endian. Decoding validates the magic, version, every
+//! length against the bytes actually present (so hostile counts cannot
+//! drive huge allocations), and rejects trailing bytes. The v1 decoder in
+//! `opprentice-learn` naturally rejects v2 containers via its version
+//! check, and vice versa.
+//!
+//! Deliberately *not* captured: the detectors' sliding-window state and the
+//! feature matrix. Those are rebuilt by replaying the session's write-ahead
+//! log (cheap, deterministic), which is what guarantees a restored session
+//! scores incoming points identically to one that never crashed.
+
+use crate::cthld::Preference;
+use crate::error::PipelineError;
+use crate::{Opprentice, OpprenticeConfig};
+use bytes::{Buf, BufMut};
+use opprentice_learn::persist::PersistError;
+use opprentice_learn::{RandomForest, RandomForestParams};
+use opprentice_timeseries::Labels;
+
+const MAGIC: &[u8; 4] = b"OPRF";
+const VERSION: u16 = 2;
+
+/// Errors produced when decoding or installing a session snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The magic bytes did not match.
+    BadMagic,
+    /// The container version is not 2.
+    UnsupportedVersion(u16),
+    /// Bytes remained after the last field.
+    TrailingBytes(usize),
+    /// A field held a value outside its legal domain.
+    BadField(&'static str),
+    /// The nested OPRF v1 forest failed to decode.
+    Forest(PersistError),
+    /// The snapshot disagrees with the session state it was installed into
+    /// (the replayed WAL prefix diverged from what was snapshotted).
+    StateMismatch(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
+            SnapshotError::BadField(name) => write!(f, "snapshot field `{name}` out of domain"),
+            SnapshotError::Forest(e) => write!(f, "nested forest: {e}"),
+            SnapshotError::StateMismatch(what) => {
+                write!(f, "snapshot does not match replayed session state: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<PersistError> for SnapshotError {
+    fn from(e: PersistError) -> Self {
+        SnapshotError::Forest(e)
+    }
+}
+
+/// A decoded (or captured) full-session snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// KPI sampling interval in seconds.
+    pub interval: u32,
+    /// The session's accuracy preference.
+    pub preference: Preference,
+    /// EWMA smoothing constant.
+    pub cthld_alpha: f64,
+    /// cThld used before any prediction exists.
+    pub fallback_cthld: f64,
+    /// Forest hyperparameters (needed to reproduce retraining exactly).
+    pub forest_params: RandomForestParams,
+    /// The EWMA prediction at snapshot time.
+    pub prediction: Option<f64>,
+    /// Points observed at snapshot time.
+    pub n_observed: u64,
+    /// Number of successfully applied WAL commands this snapshot covers.
+    pub wal_seq: u64,
+    /// Operator labels at snapshot time.
+    pub labels: Labels,
+    /// The trained forest, as OPRF v1 bytes (`None` if untrained).
+    pub forest: Option<Vec<u8>>,
+}
+
+impl SessionSnapshot {
+    /// Captures the full trained state of a live pipeline.
+    pub fn capture(opp: &Opprentice, wal_seq: u64) -> SessionSnapshot {
+        let config = opp.config();
+        SessionSnapshot {
+            interval: opp.interval(),
+            preference: config.preference,
+            cthld_alpha: config.cthld_alpha,
+            fallback_cthld: config.fallback_cthld,
+            forest_params: config.forest.clone(),
+            prediction: opp.predicted_cthld(),
+            n_observed: opp.observed_len() as u64,
+            wal_seq,
+            labels: opp.labels().clone(),
+            forest: opp.forest().map(RandomForest::to_bytes),
+        }
+    }
+
+    /// The configuration to recreate the pipeline with.
+    pub fn config(&self) -> OpprenticeConfig {
+        OpprenticeConfig {
+            preference: self.preference,
+            forest: self.forest_params.clone(),
+            cthld_alpha: self.cthld_alpha,
+            fallback_cthld: self.fallback_cthld,
+        }
+    }
+
+    /// Serializes to the OPRF v2 container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u32_le(self.interval);
+        out.put_f64_le(self.preference.recall);
+        out.put_f64_le(self.preference.precision);
+        out.put_f64_le(self.cthld_alpha);
+        out.put_f64_le(self.fallback_cthld);
+        let p = &self.forest_params;
+        out.put_u32_le(p.n_trees as u32);
+        out.put_f64_le(p.sample_fraction);
+        out.put_u64_le(p.seed);
+        let opt = u8::from(p.max_features.is_some())
+            | u8::from(p.max_depth.is_some()) << 1
+            | u8::from(p.n_bins.is_some()) << 2;
+        out.put_u8(opt);
+        for field in [p.max_features, p.max_depth, p.n_bins]
+            .into_iter()
+            .flatten()
+        {
+            out.put_u32_le(field as u32);
+        }
+        match self.prediction {
+            Some(c) => {
+                out.put_u8(1);
+                out.put_f64_le(c);
+            }
+            None => out.put_u8(0),
+        }
+        out.put_u64_le(self.n_observed);
+        out.put_u64_le(self.wal_seq);
+        let flags = self.labels.flags();
+        out.put_u64_le(flags.len() as u64);
+        for chunk in flags.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &f) in chunk.iter().enumerate() {
+                byte |= u8::from(f) << i;
+            }
+            out.put_u8(byte);
+        }
+        match &self.forest {
+            Some(bytes) => {
+                out.put_u8(1);
+                out.put_u32_le(bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            None => out.put_u8(0),
+        }
+        out
+    }
+
+    /// Decodes an OPRF v2 container. Never panics on hostile input: every
+    /// count is validated against the bytes actually present before any
+    /// allocation, and trailing bytes are rejected.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<SessionSnapshot, SnapshotError> {
+        if buf.remaining() < 4 + 2 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        // Fixed-width prefix: interval + 4 f64 + n_trees + sample_fraction
+        // + seed + opt byte.
+        if buf.remaining() < 4 + 8 * 4 + 4 + 8 + 8 + 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let interval = buf.get_u32_le();
+        if interval == 0 {
+            return Err(SnapshotError::BadField("interval"));
+        }
+        let recall = buf.get_f64_le();
+        let precision = buf.get_f64_le();
+        let cthld_alpha = buf.get_f64_le();
+        let fallback_cthld = buf.get_f64_le();
+        for (value, name) in [
+            (recall, "recall"),
+            (precision, "precision"),
+            (cthld_alpha, "cthld_alpha"),
+            (fallback_cthld, "fallback_cthld"),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(SnapshotError::BadField(name));
+            }
+        }
+        let n_trees = buf.get_u32_le() as usize;
+        let sample_fraction = buf.get_f64_le();
+        if !(sample_fraction.is_finite() && sample_fraction > 0.0) {
+            return Err(SnapshotError::BadField("sample_fraction"));
+        }
+        let seed = buf.get_u64_le();
+        let opt = buf.get_u8();
+        if opt > 0b111 {
+            return Err(SnapshotError::BadField("optional-params bitmap"));
+        }
+        let mut opt_field = |bit: u8| -> Result<Option<usize>, SnapshotError> {
+            if opt & (1 << bit) == 0 {
+                return Ok(None);
+            }
+            if buf.remaining() < 4 {
+                return Err(SnapshotError::Truncated);
+            }
+            Ok(Some(buf.get_u32_le() as usize))
+        };
+        let max_features = opt_field(0)?;
+        let max_depth = opt_field(1)?;
+        let n_bins = opt_field(2)?;
+        let forest_params = RandomForestParams {
+            n_trees,
+            max_features,
+            sample_fraction,
+            max_depth,
+            n_bins,
+            seed,
+        };
+
+        if buf.remaining() < 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let prediction = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(SnapshotError::Truncated);
+                }
+                let c = buf.get_f64_le();
+                if !(0.0..=1.0).contains(&c) {
+                    return Err(SnapshotError::BadField("prediction"));
+                }
+                Some(c)
+            }
+            _ => return Err(SnapshotError::BadField("prediction flag")),
+        };
+
+        if buf.remaining() < 8 + 8 + 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let n_observed = buf.get_u64_le();
+        let wal_seq = buf.get_u64_le();
+        let n_labels = buf.get_u64_le();
+        // A u64 count can claim 2^61 packed bytes; bound it by what is
+        // actually in the buffer before allocating anything.
+        let packed_len = n_labels.div_ceil(8);
+        if packed_len > buf.remaining() as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        if n_labels > n_observed {
+            return Err(SnapshotError::BadField("n_labels"));
+        }
+        let n_labels = n_labels as usize;
+        let mut flags = Vec::with_capacity(n_labels);
+        for i in 0..n_labels {
+            flags.push(buf[i / 8] >> (i % 8) & 1 == 1);
+        }
+        buf.advance(packed_len as usize);
+        let labels = Labels::from_flags(flags);
+
+        if buf.remaining() < 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let forest = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 4 {
+                    return Err(SnapshotError::Truncated);
+                }
+                let len = buf.get_u32_le() as usize;
+                if len > buf.remaining() {
+                    return Err(SnapshotError::Truncated);
+                }
+                let bytes = buf[..len].to_vec();
+                buf.advance(len);
+                // Validate eagerly so a corrupt nested forest is caught at
+                // load time, not first use.
+                RandomForest::from_bytes(&bytes)?;
+                Some(bytes)
+            }
+            _ => return Err(SnapshotError::BadField("forest flag")),
+        };
+
+        if buf.has_remaining() {
+            return Err(SnapshotError::TrailingBytes(buf.remaining()));
+        }
+        Ok(SessionSnapshot {
+            interval,
+            preference: Preference { recall, precision },
+            cthld_alpha,
+            fallback_cthld,
+            forest_params,
+            prediction,
+            n_observed,
+            wal_seq,
+            labels,
+            forest,
+        })
+    }
+
+    /// Installs the trained state into a pipeline that has already replayed
+    /// the WAL prefix this snapshot covers. Verifies that the replayed
+    /// observation/label state agrees with what was snapshotted — a
+    /// mismatch means the WAL and snapshot are from different histories.
+    pub fn install_into(&self, opp: &mut Opprentice) -> Result<(), SnapshotError> {
+        if opp.interval() != self.interval {
+            return Err(SnapshotError::StateMismatch("interval"));
+        }
+        if opp.observed_len() as u64 != self.n_observed {
+            return Err(SnapshotError::StateMismatch("observed point count"));
+        }
+        if opp.labels() != &self.labels {
+            return Err(SnapshotError::StateMismatch("operator labels"));
+        }
+        let forest = match &self.forest {
+            Some(bytes) => Some(RandomForest::from_bytes(bytes)?),
+            None => None,
+        };
+        opp.restore_trained_state(forest, self.prediction);
+        Ok(())
+    }
+}
+
+/// Pipeline-level recovery errors: everything that can go wrong rebuilding
+/// a session from its WAL + snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// A WAL line failed to re-apply.
+    Pipeline(PipelineError),
+    /// The snapshot failed to decode or install.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Pipeline(e) => write!(f, "replaying WAL: {e}"),
+            RecoveryError::Snapshot(e) => write!(f, "loading snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<PipelineError> for RecoveryError {
+    fn from(e: PipelineError) -> Self {
+        RecoveryError::Pipeline(e)
+    }
+}
+
+impl From<SnapshotError> for RecoveryError {
+    fn from(e: SnapshotError) -> Self {
+        RecoveryError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprentice_timeseries::TimeSeries;
+
+    const INTERVAL: u32 = 3600;
+
+    fn trained_pipeline() -> Opprentice {
+        let n = 28 * 24;
+        let mut series = TimeSeries::new(0, INTERVAL);
+        let mut labels = Labels::all_normal(0);
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            series.push(if anomalous { base + 120.0 } else { base });
+            labels.push(anomalous);
+        }
+        let config = OpprenticeConfig {
+            forest: RandomForestParams {
+                n_trees: 10,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut opp = Opprentice::new(INTERVAL, config);
+        opp.ingest_history(&series, &labels).unwrap();
+        assert!(opp.retrain());
+        opp
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let opp = trained_pipeline();
+        let snap = SessionSnapshot::capture(&opp, 673);
+        let bytes = snap.to_bytes();
+        let back = SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.wal_seq, 673);
+        assert_eq!(back.n_observed, opp.observed_len() as u64);
+    }
+
+    #[test]
+    fn untrained_pipeline_round_trips_too() {
+        let opp = Opprentice::new(INTERVAL, OpprenticeConfig::default());
+        let snap = SessionSnapshot::capture(&opp, 0);
+        assert!(snap.forest.is_none());
+        assert!(snap.prediction.is_none());
+        let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn install_restores_identical_scoring() {
+        let mut original = trained_pipeline();
+        let snap = SessionSnapshot::capture(&original, 0);
+
+        // Rebuild: same config, same observations (as WAL replay would),
+        // then install.
+        let mut restored = Opprentice::new(INTERVAL, snap.config());
+        let n = original.observed_len();
+        let mut series = TimeSeries::new(0, INTERVAL);
+        let mut labels = Labels::all_normal(0);
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            series.push(if anomalous { base + 120.0 } else { base });
+            labels.push(anomalous);
+        }
+        restored.ingest_history(&series, &labels).unwrap();
+        snap.install_into(&mut restored).unwrap();
+
+        let t0 = (n as i64) * i64::from(INTERVAL);
+        for (i, v) in [100.0, 400.0, 80.0, 250.0].into_iter().enumerate() {
+            let ts = t0 + i as i64 * i64::from(INTERVAL);
+            assert_eq!(original.observe(ts, Some(v)), restored.observe(ts, Some(v)));
+        }
+    }
+
+    #[test]
+    fn install_rejects_divergent_state() {
+        let opp = trained_pipeline();
+        let snap = SessionSnapshot::capture(&opp, 0);
+        let mut other = Opprentice::new(INTERVAL, snap.config());
+        assert_eq!(
+            snap.install_into(&mut other),
+            Err(SnapshotError::StateMismatch("observed point count"))
+        );
+        let mut wrong_interval = Opprentice::new(60, snap.config());
+        assert_eq!(
+            snap.install_into(&mut wrong_interval),
+            Err(SnapshotError::StateMismatch("interval"))
+        );
+    }
+
+    #[test]
+    fn v1_forest_bytes_are_rejected_as_session_snapshots() {
+        let opp = trained_pipeline();
+        let v1 = opp.forest().unwrap().to_bytes();
+        assert_eq!(
+            SessionSnapshot::from_bytes(&v1),
+            Err(SnapshotError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly() {
+        let opp = trained_pipeline();
+        let bytes = SessionSnapshot::capture(&opp, 42).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SessionSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let opp = trained_pipeline();
+        let mut bytes = SessionSnapshot::capture(&opp, 42).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            SessionSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn hostile_label_count_cannot_allocate() {
+        let opp = Opprentice::new(INTERVAL, OpprenticeConfig::default());
+        let mut bytes = SessionSnapshot::capture(&opp, 0).to_bytes();
+        // n_labels sits 8 bytes after n_observed/wal_seq from the end:
+        // layout ends … n_observed u64 | wal_seq u64 | n_labels u64 | forest u8.
+        let n = bytes.len();
+        bytes[n - 9..n - 1].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SessionSnapshot::from_bytes(&bytes).is_err());
+    }
+}

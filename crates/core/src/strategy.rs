@@ -59,12 +59,18 @@ pub struct EvalPlan {
 impl EvalPlan {
     /// The paper's I1 plan: 8 initial weeks, 1-week test windows.
     pub fn weekly() -> Self {
-        Self { initial_train_weeks: 8, test_weeks: 1 }
+        Self {
+            initial_train_weeks: 8,
+            test_weeks: 1,
+        }
     }
 
     /// The paper's 4-week-window plan (I4/R4/F4).
     pub fn four_week() -> Self {
-        Self { initial_train_weeks: 8, test_weeks: 4 }
+        Self {
+            initial_train_weeks: 8,
+            test_weeks: 4,
+        }
     }
 
     /// All test windows (week ranges) available in `total_weeks` of data.

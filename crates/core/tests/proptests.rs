@@ -146,3 +146,24 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The session-snapshot decoder is total: arbitrary bytes never panic.
+    /// Crash recovery reads snapshot files that may be torn or corrupted,
+    /// so decoding must fail as a value, not a process abort.
+    #[test]
+    fn snapshot_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..800)) {
+        let _ = opprentice::SessionSnapshot::from_bytes(&bytes);
+    }
+
+    /// Same, with a valid magic + version prefix so the fuzz bytes reach
+    /// the field decoding paths instead of dying at the header.
+    #[test]
+    fn snapshot_decoder_never_panics_past_header(
+        mut bytes in prop::collection::vec(any::<u8>(), 6..800),
+    ) {
+        bytes[..4].copy_from_slice(b"OPRF");
+        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let _ = opprentice::SessionSnapshot::from_bytes(&bytes);
+    }
+}

@@ -30,8 +30,13 @@ pub enum AnomalyKind {
 
 impl AnomalyKind {
     /// All archetypes, in a fixed order.
-    pub const ALL: [AnomalyKind; 5] =
-        [AnomalyKind::SpikeUp, AnomalyKind::Dip, AnomalyKind::LevelShift, AnomalyKind::SlowRamp, AnomalyKind::Jitter];
+    pub const ALL: [AnomalyKind; 5] = [
+        AnomalyKind::SpikeUp,
+        AnomalyKind::Dip,
+        AnomalyKind::LevelShift,
+        AnomalyKind::SlowRamp,
+        AnomalyKind::Jitter,
+    ];
 }
 
 /// Parameters of one injection pass.
@@ -137,7 +142,11 @@ pub fn inject<R: Rng>(
     // factor modulates both the *severity* and the *density* of anomalies
     // in a week — underlying problems that linger produce both more and
     // similarly-sized anomalies until fixed.
-    let n_weeks = if plan.points_per_week > 0 { n.div_ceil(plan.points_per_week) } else { 1 };
+    let n_weeks = if plan.points_per_week > 0 {
+        n.div_ceil(plan.points_per_week)
+    } else {
+        1
+    };
     let mut week_factor = vec![1.0f64; n_weeks];
     if plan.weekly_drift > 0.0 && plan.points_per_week > 0 {
         let rho = 0.85f64;
@@ -174,7 +183,10 @@ pub fn inject<R: Rng>(
         let window = AnomalyWindow::new(start, (start + len).min(n).max(start + 1));
         // Keep windows disjoint with a 1-point gap so ground-truth windows
         // stay individually recoverable.
-        let padded = AnomalyWindow::new(window.start.saturating_sub(1), (window.end + 1).min(n).max(window.start + 1));
+        let padded = AnomalyWindow::new(
+            window.start.saturating_sub(1),
+            (window.end + 1).min(n).max(window.start + 1),
+        );
         if windows.iter().any(|w| w.overlaps(&padded)) {
             continue;
         }
@@ -197,10 +209,21 @@ pub fn inject<R: Rng>(
         };
         // Severity levels: mixture of mild and severe, per §2.1, modulated
         // by the persistent weekly regime.
-        let base_mag = if rng.gen::<f64>() < 0.5 { rng.gen_range(0.2..0.5) } else { rng.gen_range(0.5..1.0) };
+        let base_mag = if rng.gen::<f64>() < 0.5 {
+            rng.gen_range(0.2..0.5)
+        } else {
+            rng.gen_range(0.5..1.0)
+        };
         let magnitude = (base_mag * week_factor[week.min(week_factor.len() - 1)]).clamp(0.1, 2.0);
         week_used[week] += window.len();
-        apply_kind(kind, &mut values[window.start..window.end], plan.base, plan.rel_scale, magnitude, rng);
+        apply_kind(
+            kind,
+            &mut values[window.start..window.end],
+            plan.base,
+            plan.rel_scale,
+            magnitude,
+            rng,
+        );
         for i in window.start..window.end {
             truth.mark(i);
         }
@@ -222,7 +245,12 @@ mod tests {
         vec![100.0; n]
     }
 
-    fn run_inject(n: usize, ratio: f64, mean_len: f64, seed: u64) -> (Vec<f64>, Vec<AnomalyWindow>, Labels) {
+    fn run_inject(
+        n: usize,
+        ratio: f64,
+        mean_len: f64,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<AnomalyWindow>, Labels) {
         let mut values = flat(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let plan = InjectionPlan {
@@ -321,7 +349,10 @@ mod tests {
         apply_kind(AnomalyKind::SlowRamp, &mut vals, 100.0, 1.0, 0.8, &mut rng);
         let first_dev = (vals[0] - 100.0).abs();
         let last_dev = (vals[29] - 100.0).abs();
-        assert!(last_dev > 5.0 * first_dev.max(0.1), "{first_dev} -> {last_dev}");
+        assert!(
+            last_dev > 5.0 * first_dev.max(0.1),
+            "{first_dev} -> {last_dev}"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl LabeledKpi {
         let cut = cut.min(self.series.len());
         (
             (self.series.slice(0..cut), self.truth.slice(0..cut)),
-            (self.series.slice(cut..self.series.len()), self.truth.slice(cut..self.series.len())),
+            (
+                self.series.slice(cut..self.series.len()),
+                self.truth.slice(cut..self.series.len()),
+            ),
         )
     }
 }
@@ -118,7 +121,13 @@ impl KpiSpec {
         let phase2 = rng.gen::<f64>() * std::f64::consts::TAU;
         // Weekday factors: weekend dip scaled by weekly_amp.
         let weekday_factor: Vec<f64> = (0..7)
-            .map(|d| if d >= 5 { 1.0 - self.weekly_amp } else { 1.0 + 0.2 * self.weekly_amp })
+            .map(|d| {
+                if d >= 5 {
+                    1.0 - self.weekly_amp
+                } else {
+                    1.0 + 0.2 * self.weekly_amp
+                }
+            })
             .collect();
 
         // Burst episodes: a two-state process whose duty cycle matches
@@ -176,8 +185,8 @@ impl KpiSpec {
         // episode once its peak crosses the line, so each above-threshold
         // run is expanded outward while neighbors stay clearly elevated.
         if let Some(q) = self.extreme_label_quantile {
-            let threshold = opprentice_numeric::stats::quantile(&values, q)
-                .expect("non-empty series");
+            let threshold =
+                opprentice_numeric::stats::quantile(&values, q).expect("non-empty series");
             let elevated = 0.6 * threshold;
             let mut i = 0;
             while i < n {

@@ -77,7 +77,11 @@ impl SimulatedOperator {
     /// A perfectly accurate (but still window-based) operator — useful to
     /// isolate the effect of labeling noise in ablations.
     pub fn perfect() -> Self {
-        Self { boundary_jitter_minutes: 0.0, miss_prob: 0.0, ..Self::default() }
+        Self {
+            boundary_jitter_minutes: 0.0,
+            miss_prob: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Labels the KPI's ground-truth windows the way a human would: window
@@ -112,7 +116,11 @@ impl SimulatedOperator {
             let days = month_points as f64 / kpi.series.points_per_day() as f64;
             let secs = days * self.nav_seconds_per_day + wins as f64 * self.seconds_per_window;
             total_seconds += secs;
-            months.push(MonthReport { month: m, windows: wins, minutes: secs / 60.0 });
+            months.push(MonthReport {
+                month: m,
+                windows: wins,
+                minutes: secs / 60.0,
+            });
         }
 
         LabelingSession {
@@ -162,7 +170,13 @@ mod tests {
             let kpi = presets::fast(&spec, 300).generate();
             let session = SimulatedOperator::default().label(&kpi);
             for m in &session.months {
-                assert!(m.minutes < 6.0, "{}: month {} took {:.1} min", kpi.name, m.month, m.minutes);
+                assert!(
+                    m.minutes < 6.0,
+                    "{}: month {} took {:.1} min",
+                    kpi.name,
+                    m.month,
+                    m.minutes
+                );
             }
         }
     }

@@ -134,7 +134,10 @@ mod tests {
         let kpi = fast(&pv(), 300).generate();
         let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
         assert!((0.3..0.7).contains(&cv), "PV Cv {cv}");
-        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Strong));
+        assert_eq!(
+            stats::seasonality_band(&kpi.series),
+            Some(Seasonality::Strong)
+        );
         let ratio = kpi.truth.anomaly_ratio();
         assert!((ratio - 0.078).abs() < 0.02, "PV anomaly ratio {ratio}");
     }
@@ -144,7 +147,10 @@ mod tests {
         let kpi = fast(&sr(), 300).generate();
         let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
         assert!((1.4..2.8).contains(&cv), "#SR Cv {cv}");
-        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Weak));
+        assert_eq!(
+            stats::seasonality_band(&kpi.series),
+            Some(Seasonality::Weak)
+        );
         let ratio = kpi.truth.anomaly_ratio();
         assert!((ratio - 0.028).abs() < 0.015, "#SR anomaly ratio {ratio}");
     }
@@ -154,7 +160,10 @@ mod tests {
         let kpi = srt().generate(); // already coarse (60-minute interval)
         let cv = stats::coefficient_of_variation(&kpi.series).unwrap();
         assert!((0.04..0.12).contains(&cv), "SRT Cv {cv}");
-        assert_eq!(stats::seasonality_band(&kpi.series), Some(Seasonality::Moderate));
+        assert_eq!(
+            stats::seasonality_band(&kpi.series),
+            Some(Seasonality::Moderate)
+        );
         let ratio = kpi.truth.anomaly_ratio();
         assert!((ratio - 0.074).abs() < 0.02, "SRT anomaly ratio {ratio}");
     }

@@ -46,7 +46,9 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_heavy_tailed() {
         let mut rng = StdRng::seed_from_u64(2);
-        let xs: Vec<f64> = (0..20_000).map(|_| log_normal(&mut rng, 0.0, 1.3)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| log_normal(&mut rng, 0.0, 1.3))
+            .collect();
         assert!(xs.iter().all(|&x| x > 0.0));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let med = {

@@ -8,37 +8,39 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = KpiSpec> {
     (
-        1u64..u64::MAX,     // seed
-        2usize..5,          // weeks
-        10.0f64..5000.0,    // base
-        0.0f64..0.9,        // daily amplitude
-        0.0f64..0.15,       // noise
-        0.0f64..0.12,       // anomaly ratio
-        0.1f64..2.0,        // anomaly scale
-        0.0f64..0.5,        // drift
-        0.0f64..0.01,       // missing ratio
+        1u64..u64::MAX,  // seed
+        2usize..5,       // weeks
+        10.0f64..5000.0, // base
+        0.0f64..0.9,     // daily amplitude
+        0.0f64..0.15,    // noise
+        0.0f64..0.12,    // anomaly ratio
+        0.1f64..2.0,     // anomaly scale
+        0.0f64..0.5,     // drift
+        0.0f64..0.01,    // missing ratio
         prop::sample::select(vec![600u32, 1800, 3600]),
     )
         .prop_map(
-            |(seed, weeks, base, daily_amp, noise, ratio, scale, drift, missing, interval)| KpiSpec {
-                name: "prop".into(),
-                interval,
-                weeks,
-                base,
-                daily_amp,
-                weekly_amp: 0.1,
-                noise_sigma: noise,
-                burst_rate: 0.0,
-                burst_sigma: 1.0,
-                burst_scale: 0.0,
-                anomaly_ratio: ratio,
-                anomaly_scale: scale,
-                spike_bias: 0.0,
-                anomaly_drift: drift,
-                mean_anomaly_len: 6.0,
-                extreme_label_quantile: None,
-                missing_ratio: missing,
-                seed,
+            |(seed, weeks, base, daily_amp, noise, ratio, scale, drift, missing, interval)| {
+                KpiSpec {
+                    name: "prop".into(),
+                    interval,
+                    weeks,
+                    base,
+                    daily_amp,
+                    weekly_amp: 0.1,
+                    noise_sigma: noise,
+                    burst_rate: 0.0,
+                    burst_sigma: 1.0,
+                    burst_scale: 0.0,
+                    anomaly_ratio: ratio,
+                    anomaly_scale: scale,
+                    spike_bias: 0.0,
+                    anomaly_drift: drift,
+                    mean_anomaly_len: 6.0,
+                    extreme_label_quantile: None,
+                    missing_ratio: missing,
+                    seed,
+                }
             },
         )
 }

@@ -184,7 +184,9 @@ mod tests {
             let v = if i % 17 == 0 { None } else { Some(v) };
             let _ = d.observe(i as i64 * 3600, v);
         }
-        assert!(d.observe((MIN_FIT + 101) as i64 * 3600, Some(100.0)).is_some());
+        assert!(d
+            .observe((MIN_FIT + 101) as i64 * 3600, Some(100.0))
+            .is_some());
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Diff {
     /// Creates a diff detector for the given lag at the given interval.
     pub fn new(lag: DiffLag, interval: u32) -> Self {
         let lag_points = lag.points(interval);
-        Self { lag, lag_points, ring: VecDeque::with_capacity(lag_points) }
+        Self {
+            lag,
+            lag_points,
+            ring: VecDeque::with_capacity(lag_points),
+        }
     }
 }
 
@@ -113,7 +117,7 @@ mod tests {
         let mut d = Diff::new(DiffLag::LastSlot, 60);
         d.observe(0, Some(10.0));
         assert_eq!(d.observe(60, None), None); // missing current
-        // The missing point is in the ring: reference for this one is None.
+                                               // The missing point is in the ring: reference for this one is None.
         assert_eq!(d.observe(120, Some(11.0)), None);
         // Next point compares against 11.0 (one slot back), alignment kept.
         assert_eq!(d.observe(180, Some(15.0)), Some(4.0));

@@ -21,7 +21,9 @@ impl EwmaDetector {
     ///
     /// Panics if `alpha` is outside `[0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        Self { smoother: Ewma::new(alpha) }
+        Self {
+            smoother: Ewma::new(alpha),
+        }
     }
 }
 

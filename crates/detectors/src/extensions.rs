@@ -47,7 +47,13 @@ impl Cusum {
     pub fn new(k: f64, win: usize) -> Self {
         assert!(win >= 8, "baseline window too short");
         assert!(k >= 0.0, "slack must be non-negative");
-        Self { k, window: VecDeque::with_capacity(win), win, s_pos: 0.0, s_neg: 0.0 }
+        Self {
+            k,
+            window: VecDeque::with_capacity(win),
+            win,
+            s_pos: 0.0,
+            s_neg: 0.0,
+        }
     }
 }
 
@@ -57,7 +63,9 @@ impl Detector for Cusum {
         let severity = if self.window.len() >= self.win {
             let xs: Vec<f64> = self.window.iter().copied().collect();
             let mean = stats::mean(&xs).expect("non-empty");
-            let sd = stats::std_dev(&xs).unwrap_or(0.0).max(1e-9 * (1.0 + mean.abs()));
+            let sd = stats::std_dev(&xs)
+                .unwrap_or(0.0)
+                .max(1e-9 * (1.0 + mean.abs()));
             let z = (v - mean) / sd;
             self.s_pos = (self.s_pos + z - self.k).max(0.0);
             self.s_neg = (self.s_neg - z - self.k).max(0.0);
@@ -101,7 +109,11 @@ impl SlidingPercentile {
     pub fn new(q: f64, win: usize) -> Self {
         assert!(q > 0.0 && q < 0.5, "band quantile must be in (0, 0.5)");
         assert!(win >= 16, "window too short for quantiles");
-        Self { q, win, window: VecDeque::with_capacity(win) }
+        Self {
+            q,
+            win,
+            window: VecDeque::with_capacity(win),
+        }
     }
 }
 
@@ -114,7 +126,7 @@ impl Detector for SlidingPercentile {
             let hi = stats::quantile(&xs, 1.0 - self.q).expect("non-empty");
             let iqr = (stats::quantile(&xs, 0.75).expect("non-empty")
                 - stats::quantile(&xs, 0.25).expect("non-empty"))
-                .max(1e-9 * (1.0 + hi.abs()));
+            .max(1e-9 * (1.0 + hi.abs()));
             let outside = if v > hi {
                 v - hi
             } else if v < lo {
@@ -190,7 +202,9 @@ impl Detector for SeasonalEsd {
             if self.residuals.len() >= 16 {
                 let rs: Vec<f64> = self.residuals.iter().copied().collect();
                 let med = stats::median(&rs).expect("non-empty");
-                let mad = stats::mad(&rs).unwrap_or(0.0).max(1e-9 * (1.0 + baseline.abs()));
+                let mad = stats::mad(&rs)
+                    .unwrap_or(0.0)
+                    .max(1e-9 * (1.0 + baseline.abs()));
                 Some((residual - med).abs() / mad)
             } else {
                 None
@@ -239,7 +253,10 @@ pub fn extended_registry(interval: u32) -> Vec<ConfiguredDetector> {
         extra
             .into_iter()
             .enumerate()
-            .map(|(i, detector)| ConfiguredDetector { index: base + i, detector }),
+            .map(|(i, detector)| ConfiguredDetector {
+                index: base + i,
+                detector,
+            }),
     );
     out
 }
@@ -249,7 +266,10 @@ mod tests {
     use super::*;
 
     fn feed(d: &mut dyn Detector, values: impl Iterator<Item = f64>) -> Vec<Option<f64>> {
-        values.enumerate().map(|(i, v)| d.observe(i as i64 * 3600, Some(v))).collect()
+        values
+            .enumerate()
+            .map(|(i, v)| d.observe(i as i64 * 3600, Some(v)))
+            .collect()
     }
 
     #[test]
@@ -264,7 +284,10 @@ mod tests {
         let adapted = out[199].unwrap();
         assert!(pre < 1.0, "pre {pre}");
         assert!(post > 5.0, "post {post}");
-        assert!(adapted < post, "the sliding baseline should absorb the shift");
+        assert!(
+            adapted < post,
+            "the sliding baseline should absorb the shift"
+        );
     }
 
     #[test]
@@ -321,7 +344,12 @@ mod tests {
     fn extensions_respect_the_detector_contract() {
         for cfg in extended_registry(3600).iter_mut().skip(133) {
             // Missing input: no verdict.
-            assert_eq!(cfg.detector.observe(0, None), None, "{}", cfg.detector.name());
+            assert_eq!(
+                cfg.detector.observe(0, None),
+                None,
+                "{}",
+                cfg.detector.name()
+            );
             // Severities finite and non-negative over a noisy run.
             for i in 0..600 {
                 let v = 100.0 + ((i * 37) % 23) as f64;

@@ -35,7 +35,12 @@ impl HistoricalAverage {
     pub fn new(weeks: usize, robust: bool, interval: u32) -> Self {
         assert!(weeks > 0, "weeks must be positive");
         let ppd = (86_400 / i64::from(interval)) as usize;
-        Self { weeks, robust, interval, per_slot: vec![VecDeque::new(); ppd] }
+        Self {
+            weeks,
+            robust,
+            interval,
+            per_slot: vec![VecDeque::new(); ppd],
+        }
     }
 
     fn capacity(&self) -> usize {
@@ -52,9 +57,15 @@ impl Detector for HistoricalAverage {
         let severity = if history.len() >= MIN_HISTORY {
             let xs: Vec<f64> = history.iter().copied().collect();
             let (center, spread_raw) = if self.robust {
-                (stats::median(&xs).expect("non-empty"), stats::mad(&xs).unwrap_or(0.0))
+                (
+                    stats::median(&xs).expect("non-empty"),
+                    stats::mad(&xs).unwrap_or(0.0),
+                )
             } else {
-                (stats::mean(&xs).expect("non-empty"), stats::std_dev(&xs).unwrap_or(0.0))
+                (
+                    stats::mean(&xs).expect("non-empty"),
+                    stats::std_dev(&xs).unwrap_or(0.0),
+                )
             };
             let spread = spread_raw.max(1e-9 * (1.0 + center.abs()));
             Some((v - center).abs() / spread)
@@ -142,7 +153,11 @@ mod tests {
         for day in 0..20i64 {
             let ts = day * 86_400;
             // Slot-0 history is ~100 except two wild outliers.
-            let v = if day == 5 || day == 11 { 10_000.0 } else { 100.0 + (day % 3) as f64 };
+            let v = if day == 5 || day == 11 {
+                10_000.0
+            } else {
+                100.0 + (day % 3) as f64
+            };
             plain.observe(ts, Some(v));
             robust.observe(ts, Some(v));
         }

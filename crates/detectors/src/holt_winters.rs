@@ -29,7 +29,13 @@ impl HoltWintersDetector {
     /// fewer than 2 points per day.
     pub fn new(alpha: f64, beta: f64, gamma: f64, interval: u32) -> Self {
         let season = (86_400 / i64::from(interval)) as usize;
-        Self { alpha, beta, gamma, smoother: HoltWinters::new(alpha, beta, gamma, season), last_value: None }
+        Self {
+            alpha,
+            beta,
+            gamma,
+            smoother: HoltWinters::new(alpha, beta, gamma, season),
+            last_value: None,
+        }
     }
 }
 
@@ -46,7 +52,9 @@ impl Detector for HoltWintersDetector {
             return None;
         };
         self.last_value = Some(v);
-        self.smoother.observe(v).map(|forecast| (v - forecast).abs())
+        self.smoother
+            .observe(v)
+            .map(|forecast| (v - forecast).abs())
     }
 
     fn name(&self) -> &'static str {
@@ -54,7 +62,10 @@ impl Detector for HoltWintersDetector {
     }
 
     fn config(&self) -> String {
-        format!("alpha={},beta={},gamma={}", self.alpha, self.beta, self.gamma)
+        format!(
+            "alpha={},beta={},gamma={}",
+            self.alpha, self.beta, self.gamma
+        )
     }
 }
 
@@ -72,7 +83,11 @@ mod tests {
     fn warm_up_is_two_days() {
         let mut d = HoltWintersDetector::new(0.4, 0.2, 0.4, 3600);
         for i in 0..48 {
-            assert_eq!(d.observe(i * 3600, Some(daily(i * 3600))), None, "point {i}");
+            assert_eq!(
+                d.observe(i * 3600, Some(daily(i * 3600))),
+                None,
+                "point {i}"
+            );
         }
         assert!(d.observe(48 * 3600, Some(daily(48 * 3600))).is_some());
     }

@@ -44,8 +44,8 @@
 
 pub mod arima;
 pub mod diff;
-pub mod extensions;
 pub mod ewma;
+pub mod extensions;
 pub mod historical;
 pub mod holt_winters;
 pub mod ma;
@@ -105,7 +105,10 @@ pub fn run_detector(
     detector: &mut dyn Detector,
     series: &opprentice_timeseries::TimeSeries,
 ) -> Vec<Option<f64>> {
-    series.iter().map(|(ts, v)| clamp_severity(detector.observe(ts, v))).collect()
+    series
+        .iter()
+        .map(|(ts, v)| clamp_severity(detector.observe(ts, v)))
+        .collect()
 }
 
 #[cfg(test)]

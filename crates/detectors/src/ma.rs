@@ -27,7 +27,11 @@ impl SimpleMa {
     /// Panics if `win == 0`.
     pub fn new(win: usize) -> Self {
         assert!(win > 0, "window must be positive");
-        Self { win, window: VecDeque::with_capacity(win), sum: 0.0 }
+        Self {
+            win,
+            window: VecDeque::with_capacity(win),
+            sum: 0.0,
+        }
     }
 
     fn push(&mut self, v: f64) {
@@ -75,7 +79,10 @@ impl WeightedMa {
     /// Panics if `win == 0`.
     pub fn new(win: usize) -> Self {
         assert!(win > 0, "window must be positive");
-        Self { win, window: VecDeque::with_capacity(win) }
+        Self {
+            win,
+            window: VecDeque::with_capacity(win),
+        }
     }
 
     fn prediction(&self) -> f64 {
@@ -129,7 +136,12 @@ impl MaOfDiff {
     /// Panics if `win == 0`.
     pub fn new(win: usize) -> Self {
         assert!(win > 0, "window must be positive");
-        Self { win, prev: None, diffs: VecDeque::with_capacity(win), sum: 0.0 }
+        Self {
+            win,
+            prev: None,
+            diffs: VecDeque::with_capacity(win),
+            sum: 0.0,
+        }
     }
 }
 
@@ -172,7 +184,11 @@ mod tests {
     use super::*;
 
     fn feed(det: &mut dyn Detector, values: &[f64]) -> Vec<Option<f64>> {
-        values.iter().enumerate().map(|(i, &v)| det.observe(i as i64 * 60, Some(v))).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| det.observe(i as i64 * 60, Some(v)))
+            .collect()
     }
 
     #[test]

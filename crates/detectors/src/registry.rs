@@ -85,7 +85,9 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
     for alpha in grid {
         for beta in grid {
             for gamma in grid {
-                out.push(Box::new(HoltWintersDetector::new(alpha, beta, gamma, interval)));
+                out.push(Box::new(HoltWintersDetector::new(
+                    alpha, beta, gamma, interval,
+                )));
             }
         }
     }
@@ -116,7 +118,10 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
 
 /// The labels of all 133 configurations, in registry order.
 pub fn config_labels(interval: u32) -> Vec<String> {
-    registry(interval).iter().map(ConfiguredDetector::label).collect()
+    registry(interval)
+        .iter()
+        .map(ConfiguredDetector::label)
+        .collect()
 }
 
 #[cfg(test)]
@@ -181,10 +186,18 @@ mod tests {
         let mut reg = registry(3600);
         for i in 0..(24 * 3) {
             let ts = i * 3600;
-            let v = if i % 11 == 0 { None } else { Some(100.0 + (i % 24) as f64) };
+            let v = if i % 11 == 0 {
+                None
+            } else {
+                Some(100.0 + (i % 24) as f64)
+            };
             for c in reg.iter_mut() {
                 if let Some(s) = c.detector.observe(ts, v) {
-                    assert!(s.is_finite() && s >= 0.0, "{}: bad severity {s}", c.detector.name());
+                    assert!(
+                        s.is_finite() && s >= 0.0,
+                        "{}: bad severity {s}",
+                        c.detector.name()
+                    );
                 }
             }
         }

@@ -122,7 +122,11 @@ mod tests {
     use opprentice_numeric::svd::svd as jacobi_svd;
 
     fn feed(d: &mut SvdDetector, values: &[f64]) -> Vec<Option<f64>> {
-        values.iter().enumerate().map(|(i, &v)| d.observe(i as i64 * 60, Some(v))).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| d.observe(i as i64 * 60, Some(v)))
+            .collect()
     }
 
     #[test]
@@ -164,7 +168,9 @@ mod tests {
             rows,
             cols,
             // Column-major window -> row-major matrix.
-            (0..rows * cols).map(|k| vals[(k % cols) * rows + k / cols]).collect(),
+            (0..rows * cols)
+                .map(|k| vals[(k % cols) * rows + k / cols])
+                .collect(),
         );
         let dec = jacobi_svd(&mat);
         let rec = dec.reconstruct(1);

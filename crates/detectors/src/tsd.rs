@@ -151,7 +151,10 @@ mod tests {
         // A big spike at the next point.
         let ts = 168 * 3 * 3600;
         let spike_sev = d.observe(ts, Some(weekly_pattern(ts) + 500.0)).unwrap();
-        assert!(spike_sev > 20.0 * (normal_sev + 1.0), "{spike_sev} vs {normal_sev}");
+        assert!(
+            spike_sev > 20.0 * (normal_sev + 1.0),
+            "{spike_sev} vs {normal_sev}"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ struct RunningMa {
 
 impl RunningMa {
     fn new(len: usize) -> Self {
-        Self { len, buf: VecDeque::with_capacity(len), sum: 0.0 }
+        Self {
+            len,
+            buf: VecDeque::with_capacity(len),
+            sum: 0.0,
+        }
     }
 
     fn push(&mut self, v: f64) {
@@ -170,7 +174,10 @@ mod tests {
 
     fn run(band: Band, values: impl Iterator<Item = f64>) -> Vec<Option<f64>> {
         let mut d = WaveletDetector::new(3, band, 3600);
-        values.enumerate().map(|(i, v)| d.observe(i as i64 * 3600, Some(v))).collect()
+        values
+            .enumerate()
+            .map(|(i, v)| d.observe(i as i64 * 3600, Some(v)))
+            .collect()
     }
 
     #[test]
@@ -199,7 +206,9 @@ mod tests {
     #[test]
     fn low_band_catches_level_shifts_high_band_forgets_them() {
         let n = 24 * 10;
-        let shifted: Vec<f64> = (0..n + 72).map(|i| signal(i) + if i >= n { 80.0 } else { 0.0 }).collect();
+        let shifted: Vec<f64> = (0..n + 72)
+            .map(|i| signal(i) + if i >= n { 80.0 } else { 0.0 })
+            .collect();
         let low = run(Band::Low, shifted.iter().copied());
         let high = run(Band::High, shifted.iter().copied());
         // Two days after the shift: the low band still sees the offset

@@ -111,9 +111,12 @@ impl Classifier for GaussianNaiveBayes {
             }
         }
         // Laplace-smoothed prior odds so a one-class training set stays finite.
-        let log_prior_ratio =
-            ((count[1] as f64 + 1.0) / (count[0] as f64 + 1.0)).ln();
-        self.stats = Some(NbStats { log_prior_ratio, mean, var });
+        let log_prior_ratio = ((count[1] as f64 + 1.0) / (count[0] as f64 + 1.0)).ln();
+        self.stats = Some(NbStats {
+            log_prior_ratio,
+            mean,
+            var,
+        });
     }
 
     fn score(&self, features: &[f64]) -> f64 {
@@ -152,7 +155,15 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        Self { epochs: 6, learning_rate: 0.1, l2: 1e-4, seed: 1, scaler: Scaler::default(), weights: Vec::new(), bias: 0.0 }
+        Self {
+            epochs: 6,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 1,
+            scaler: Scaler::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+        }
     }
 }
 
@@ -178,7 +189,8 @@ impl Classifier for LogisticRegression {
             order.shuffle(&mut rng);
             for &i in &order {
                 self.scaler.transform(data.row(i), &mut x);
-                let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
+                let z: f64 =
+                    self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - data.label(i) as usize as f64;
                 for (w, v) in self.weights.iter_mut().zip(&x) {
@@ -218,7 +230,14 @@ pub struct LinearSvm {
 
 impl Default for LinearSvm {
     fn default() -> Self {
-        Self { epochs: 6, lambda: 1e-4, seed: 2, scaler: Scaler::default(), weights: Vec::new(), bias: 0.0 }
+        Self {
+            epochs: 6,
+            lambda: 1e-4,
+            seed: 2,
+            scaler: Scaler::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+        }
     }
 }
 
@@ -246,7 +265,8 @@ impl Classifier for LinearSvm {
                 let lr = 1.0 / (self.lambda * t as f64);
                 let y = if data.label(i) { 1.0 } else { -1.0 };
                 self.scaler.transform(data.row(i), &mut x);
-                let z: f64 = self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
+                let z: f64 =
+                    self.bias + self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>();
                 for w in &mut self.weights {
                     *w *= 1.0 - lr * self.lambda;
                 }
@@ -298,7 +318,9 @@ mod tests {
 
     fn auc_of(c: &mut dyn Classifier, train: &Dataset, test: &Dataset) -> f64 {
         c.fit(train);
-        let scores: Vec<Option<f64>> = (0..test.len()).map(|i| Some(c.score(test.row(i)))).collect();
+        let scores: Vec<Option<f64>> = (0..test.len())
+            .map(|i| Some(c.score(test.row(i))))
+            .collect();
         auc_pr_of(&scores, test.labels())
     }
 

@@ -58,7 +58,12 @@ impl BinnedDataset {
                 codes.push(edges[f].partition_point(|&e| e <= row[f]) as u16);
             }
         }
-        Self { n_features: m, codes, edges, labels: data.labels().to_vec() }
+        Self {
+            n_features: m,
+            codes,
+            edges,
+            labels: data.labels().to_vec(),
+        }
     }
 
     pub(crate) fn n_features(&self) -> usize {
@@ -122,7 +127,8 @@ pub(crate) fn best_binned_split(
                 let p = pos / cnt;
                 2.0 * p * (1.0 - p)
             };
-            let weighted = (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+            let weighted =
+                (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
             if best.is_none_or(|(w, _, _)| weighted < w) {
                 best = Some((weighted, f, b));
             }
@@ -184,8 +190,26 @@ fn build(
             let placeholder = nodes.len();
             nodes.push(Node::leaf(prob)); // replaced below
             let (left_ids, right_ids) = indices.split_at_mut(mid);
-            let left = build(data, params, nodes, left_ids, depth + 1, rng, feature_pool, scratch);
-            let right = build(data, params, nodes, right_ids, depth + 1, rng, feature_pool, scratch);
+            let left = build(
+                data,
+                params,
+                nodes,
+                left_ids,
+                depth + 1,
+                rng,
+                feature_pool,
+                scratch,
+            );
+            let right = build(
+                data,
+                params,
+                nodes,
+                right_ids,
+                depth + 1,
+                rng,
+                feature_pool,
+                scratch,
+            );
             nodes[placeholder] = Node::split(feature, threshold, left, right);
             placeholder
         }
@@ -194,12 +218,25 @@ fn build(
 
 /// Fits a tree on pre-binned data over the given row indices — the
 /// histogram entry point used by the random forest.
-pub(crate) fn fit_binned(params: TreeParams, data: &BinnedDataset, indices: &mut [usize]) -> DecisionTree {
+pub(crate) fn fit_binned(
+    params: TreeParams,
+    data: &BinnedDataset,
+    indices: &mut [usize],
+) -> DecisionTree {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut nodes = Vec::new();
     let mut feature_pool: Vec<usize> = (0..data.n_features()).collect();
     let mut scratch = Vec::new();
-    build(data, &params, &mut nodes, indices, 0, &mut rng, &mut feature_pool, &mut scratch);
+    build(
+        data,
+        &params,
+        &mut nodes,
+        indices,
+        0,
+        &mut rng,
+        &mut feature_pool,
+        &mut scratch,
+    );
     from_nodes(params, nodes)
 }
 
@@ -280,7 +317,14 @@ mod tests {
         let d = toy();
         let b = BinnedDataset::from_dataset(&d, 64);
         let mut indices: Vec<usize> = (0..d.len()).collect();
-        let t = fit_binned(TreeParams { max_depth: Some(2), ..Default::default() }, &b, &mut indices);
+        let t = fit_binned(
+            TreeParams {
+                max_depth: Some(2),
+                ..Default::default()
+            },
+            &b,
+            &mut indices,
+        );
         assert!(t.depth() <= 2);
     }
 

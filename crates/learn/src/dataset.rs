@@ -18,7 +18,11 @@ impl Dataset {
     /// Panics if `n_features == 0`.
     pub fn new(n_features: usize) -> Self {
         assert!(n_features > 0, "need at least one feature");
-        Self { n_features, features: Vec::new(), labels: Vec::new() }
+        Self {
+            n_features,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Builds a dataset from row-major features and labels.
@@ -30,7 +34,11 @@ impl Dataset {
         assert!(n_features > 0, "need at least one feature");
         assert_eq!(features.len(), labels.len() * n_features, "shape mismatch");
         assert!(features.iter().all(|f| f.is_finite()), "non-finite feature");
-        Self { n_features, features, labels }
+        Self {
+            n_features,
+            features,
+            labels,
+        }
     }
 
     /// Appends one sample.
@@ -93,13 +101,20 @@ impl Dataset {
     /// order) — used by the Fig. 10 incremental-features experiment.
     pub fn select_features(&self, columns: &[usize]) -> Dataset {
         assert!(!columns.is_empty(), "need at least one column");
-        assert!(columns.iter().all(|&c| c < self.n_features), "column out of range");
+        assert!(
+            columns.iter().all(|&c| c < self.n_features),
+            "column out of range"
+        );
         let mut features = Vec::with_capacity(self.len() * columns.len());
         for i in 0..self.len() {
             let row = self.row(i);
             features.extend(columns.iter().map(|&c| row[c]));
         }
-        Dataset { n_features: columns.len(), features, labels: self.labels.clone() }
+        Dataset {
+            n_features: columns.len(),
+            features,
+            labels: self.labels.clone(),
+        }
     }
 
     /// Concatenates another dataset's samples after this one's.
@@ -117,7 +132,8 @@ impl Dataset {
     pub fn slice(&self, range: std::ops::Range<usize>) -> Dataset {
         Dataset {
             n_features: self.n_features,
-            features: self.features[range.start * self.n_features..range.end * self.n_features].to_vec(),
+            features: self.features[range.start * self.n_features..range.end * self.n_features]
+                .to_vec(),
             labels: self.labels[range].to_vec(),
         }
     }

@@ -60,7 +60,11 @@ pub fn rank_features(data: &Dataset) -> Vec<(usize, f64)> {
     let mut ranked: Vec<(usize, f64)> = (0..data.n_features())
         .map(|c| (c, mutual_information(&data.column(c), data.labels())))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MI").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite MI")
+            .then(a.0.cmp(&b.0))
+    });
     ranked
 }
 
@@ -80,7 +84,9 @@ mod tests {
     #[test]
     fn independent_feature_has_near_zero_mi() {
         let labels: Vec<bool> = (0..2000).map(|i| i % 5 == 0).collect();
-        let values: Vec<f64> = (0..2000).map(|i| ((i * 2654435761usize) % 997) as f64).collect();
+        let values: Vec<f64> = (0..2000)
+            .map(|i| ((i * 2654435761usize) % 997) as f64)
+            .collect();
         let mi = mutual_information(&values, &labels);
         assert!(mi < 0.02, "mi {mi}");
     }

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 /// Random-forest hyperparameters. The paper stresses that forests "have
 /// only two parameters and are not very sensitive to them" [38]: the tree
 /// count and the per-node feature subset size.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestParams {
     /// Number of trees.
     pub n_trees: usize,
@@ -41,7 +41,14 @@ pub struct RandomForestParams {
 
 impl Default for RandomForestParams {
     fn default() -> Self {
-        Self { n_trees: 60, max_features: None, sample_fraction: 1.0, max_depth: None, n_bins: Some(64), seed: 42 }
+        Self {
+            n_trees: 60,
+            max_features: None,
+            sample_fraction: 1.0,
+            max_depth: None,
+            n_bins: Some(64),
+            seed: 42,
+        }
     }
 }
 
@@ -54,7 +61,10 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an untrained forest.
     pub fn new(params: RandomForestParams) -> Self {
-        Self { params, trees: Vec::new() }
+        Self {
+            params,
+            trees: Vec::new(),
+        }
     }
 
     /// Anomaly probability: the mean of the trees' leaf probabilities —
@@ -73,7 +83,11 @@ impl RandomForest {
     /// probability is 40%").
     pub fn vote_fraction(&self, features: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "forest not fitted");
-        let votes = self.trees.iter().filter(|t| t.predict_proba(features) >= 0.5).count();
+        let votes = self
+            .trees
+            .iter()
+            .filter(|t| t.predict_proba(features) >= 0.5)
+            .count();
         votes as f64 / self.trees.len() as f64
     }
 
@@ -89,7 +103,10 @@ impl RandomForest {
 
     /// Assembles a forest from already-built trees (persistence restore).
     pub(crate) fn from_trees(trees: Vec<DecisionTree>) -> Self {
-        Self { params: RandomForestParams::default(), trees }
+        Self {
+            params: RandomForestParams::default(),
+            trees,
+        }
     }
 }
 
@@ -98,12 +115,21 @@ impl Classifier for RandomForest {
         assert!(!data.is_empty(), "empty training set");
         let n = data.len();
         let m = data.n_features();
-        let max_features = self.params.max_features.unwrap_or_else(|| (m as f64).sqrt().round().max(1.0) as usize);
+        let max_features = self
+            .params
+            .max_features
+            .unwrap_or_else(|| (m as f64).sqrt().round().max(1.0) as usize);
         let sample_n = ((n as f64 * self.params.sample_fraction).round() as usize).clamp(1, n);
 
-        let binned = self.params.n_bins.map(|b| BinnedDataset::from_dataset(data, b));
+        let binned = self
+            .params
+            .n_bins
+            .map(|b| BinnedDataset::from_dataset(data, b));
         let n_trees = self.params.n_trees;
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n_trees);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n_trees);
         let chunk = n_trees.div_ceil(threads);
 
         let params = &self.params;
@@ -116,10 +142,14 @@ impl Classifier for RandomForest {
                 handles.push(scope.spawn(move || {
                     let mut local = Vec::with_capacity(hi - t0);
                     for t in t0..hi {
-                        let tree_seed = params.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(t as u64);
+                        let tree_seed = params
+                            .seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(t as u64);
                         let mut rng = StdRng::seed_from_u64(tree_seed);
                         // Bootstrap: sample with replacement.
-                        let mut indices: Vec<usize> = (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
+                        let mut indices: Vec<usize> =
+                            (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
                         let tp = TreeParams {
                             max_features: Some(max_features),
                             max_depth: params.max_depth,
@@ -173,7 +203,9 @@ mod tests {
     }
 
     fn accuracy(c: &dyn Classifier, d: &Dataset) -> f64 {
-        let correct = (0..d.len()).filter(|&i| (c.score(d.row(i)) >= 0.5) == d.label(i)).count();
+        let correct = (0..d.len())
+            .filter(|&i| (c.score(d.row(i)) >= 0.5) == d.label(i))
+            .count();
         correct as f64 / d.len() as f64
     }
 
@@ -181,7 +213,10 @@ mod tests {
     fn forest_generalizes_on_held_out_data() {
         let train = noisy_dataset(800, 4, 1);
         let test = noisy_dataset(400, 4, 2);
-        let mut f = RandomForest::new(RandomForestParams { n_trees: 30, ..Default::default() });
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees: 30,
+            ..Default::default()
+        });
         f.fit(&train);
         let acc = accuracy(&f, &test);
         assert!(acc > 0.93, "accuracy {acc}");
@@ -190,7 +225,10 @@ mod tests {
     #[test]
     fn vote_fraction_is_quantized_and_tracks_probability() {
         let train = noisy_dataset(300, 0, 3);
-        let mut f = RandomForest::new(RandomForestParams { n_trees: 10, ..Default::default() });
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        });
         f.fit(&train);
         let v = f.vote_fraction(&[5.0, 5.001]);
         // Votes must be a multiple of 1/10.
@@ -205,8 +243,16 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let train = noisy_dataset(200, 2, 4);
-        let mut a = RandomForest::new(RandomForestParams { n_trees: 8, seed: 7, ..Default::default() });
-        let mut b = RandomForest::new(RandomForestParams { n_trees: 8, seed: 7, ..Default::default() });
+        let mut a = RandomForest::new(RandomForestParams {
+            n_trees: 8,
+            seed: 7,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(RandomForestParams {
+            n_trees: 8,
+            seed: 7,
+            ..Default::default()
+        });
         a.fit(&train);
         b.fit(&train);
         let probe = noisy_dataset(50, 2, 5);
@@ -218,8 +264,16 @@ mod tests {
     #[test]
     fn different_seeds_give_different_forests() {
         let train = noisy_dataset(200, 2, 4);
-        let mut a = RandomForest::new(RandomForestParams { n_trees: 8, seed: 7, ..Default::default() });
-        let mut b = RandomForest::new(RandomForestParams { n_trees: 8, seed: 8, ..Default::default() });
+        let mut a = RandomForest::new(RandomForestParams {
+            n_trees: 8,
+            seed: 7,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(RandomForestParams {
+            n_trees: 8,
+            seed: 8,
+            ..Default::default()
+        });
         a.fit(&train);
         b.fit(&train);
         let probe = noisy_dataset(100, 2, 6);
@@ -238,21 +292,33 @@ mod tests {
         let noisy_train = noisy_dataset(600, 30, 10);
         let noisy_test = noisy_dataset(300, 30, 11);
 
-        let mut f1 = RandomForest::new(RandomForestParams { n_trees: 30, ..Default::default() });
+        let mut f1 = RandomForest::new(RandomForestParams {
+            n_trees: 30,
+            ..Default::default()
+        });
         f1.fit(&clean_train);
         let acc_clean = accuracy(&f1, &clean_test);
 
-        let mut f2 = RandomForest::new(RandomForestParams { n_trees: 30, ..Default::default() });
+        let mut f2 = RandomForest::new(RandomForestParams {
+            n_trees: 30,
+            ..Default::default()
+        });
         f2.fit(&noisy_train);
         let acc_noisy = accuracy(&f2, &noisy_test);
 
-        assert!(acc_noisy > acc_clean - 0.07, "clean {acc_clean} noisy {acc_noisy}");
+        assert!(
+            acc_noisy > acc_clean - 0.07,
+            "clean {acc_clean} noisy {acc_noisy}"
+        );
     }
 
     #[test]
     fn tree_count_matches_params() {
         let train = noisy_dataset(100, 0, 12);
-        let mut f = RandomForest::new(RandomForestParams { n_trees: 5, ..Default::default() });
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees: 5,
+            ..Default::default()
+        });
         f.fit(&train);
         assert_eq!(f.tree_count(), 5);
     }
@@ -297,9 +363,15 @@ mod binned_vs_exact_tests {
         let train = noisy_dataset(600, 5, 21);
         let test = noisy_dataset(400, 5, 22);
         let auc = |n_bins: Option<usize>| {
-            let mut f = RandomForest::new(RandomForestParams { n_trees: 20, n_bins, ..Default::default() });
+            let mut f = RandomForest::new(RandomForestParams {
+                n_trees: 20,
+                n_bins,
+                ..Default::default()
+            });
             f.fit(&train);
-            let scores: Vec<Option<f64>> = (0..test.len()).map(|i| Some(f.score(test.row(i)))).collect();
+            let scores: Vec<Option<f64>> = (0..test.len())
+                .map(|i| Some(f.score(test.row(i))))
+                .collect();
             auc_pr_of(&scores, test.labels())
         };
         let exact = auc(None);

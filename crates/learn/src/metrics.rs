@@ -33,8 +33,16 @@ pub fn precision_recall(predicted: &[bool], truth: &[bool]) -> (f64, f64) {
             (false, false) => {}
         }
     }
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
     (recall, precision)
 }
 
@@ -79,7 +87,11 @@ pub fn pr_curve(scores: &[Option<f64>], truth: &[bool]) -> Vec<PrPoint> {
             }
             i += 1;
         }
-        out.push(PrPoint { threshold, recall: tp / total_pos, precision: tp / predicted });
+        out.push(PrPoint {
+            threshold,
+            recall: tp / total_pos,
+            precision: tp / predicted,
+        });
     }
     out
 }
@@ -166,8 +178,9 @@ mod tests {
     fn random_scores_auc_near_prevalence() {
         // With uninformative scores, AUCPR ≈ positive prevalence.
         let n = 20_000;
-        let scores: Vec<Option<f64>> =
-            (0..n).map(|i| Some(((i * 2654435761usize) % 1000) as f64)).collect();
+        let scores: Vec<Option<f64>> = (0..n)
+            .map(|i| Some(((i * 2654435761usize) % 1000) as f64))
+            .collect();
         let truth: Vec<bool> = (0..n).map(|i| (i * 40503) % 10 == 0).collect();
         let auc = auc_pr_of(&scores, &truth);
         assert!((auc - 0.1).abs() < 0.03, "auc {auc}");
@@ -214,9 +227,21 @@ mod tests {
     #[test]
     fn max_precision_at_recall_table4_semantics() {
         let curve = vec![
-            PrPoint { threshold: 0.9, recall: 0.3, precision: 1.0 },
-            PrPoint { threshold: 0.5, recall: 0.7, precision: 0.8 },
-            PrPoint { threshold: 0.1, recall: 1.0, precision: 0.4 },
+            PrPoint {
+                threshold: 0.9,
+                recall: 0.3,
+                precision: 1.0,
+            },
+            PrPoint {
+                threshold: 0.5,
+                recall: 0.7,
+                precision: 0.8,
+            },
+            PrPoint {
+                threshold: 0.1,
+                recall: 1.0,
+                precision: 0.4,
+            },
         ];
         assert_eq!(max_precision_at_recall(&curve, 0.66), Some(0.8));
         assert_eq!(max_precision_at_recall(&curve, 0.99), Some(0.4));

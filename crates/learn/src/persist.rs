@@ -38,6 +38,8 @@ pub enum PersistError {
     BadLink(u32),
     /// A tree contained no nodes.
     EmptyTree,
+    /// Bytes remained after the last tree.
+    TrailingBytes(usize),
 }
 
 impl std::fmt::Display for PersistError {
@@ -49,6 +51,7 @@ impl std::fmt::Display for PersistError {
             PersistError::BadTag(t) => write!(f, "unknown node tag {t}"),
             PersistError::BadLink(i) => write!(f, "node link {i} out of range"),
             PersistError::EmptyTree => write!(f, "tree with no nodes"),
+            PersistError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last tree"),
         }
     }
 }
@@ -64,7 +67,12 @@ fn encode_tree(tree: &DecisionTree, out: &mut Vec<u8>) {
                 out.put_u8(0);
                 out.put_f64_le(*prob);
             }
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 out.put_u8(1);
                 out.put_u32_le(*feature as u32);
                 out.put_f64_le(*threshold);
@@ -82,6 +90,11 @@ fn decode_tree(buf: &mut &[u8]) -> Result<DecisionTree, PersistError> {
     let n_nodes = buf.get_u32_le() as usize;
     if n_nodes == 0 {
         return Err(PersistError::EmptyTree);
+    }
+    // The smallest node (a leaf) takes 9 bytes, so a hostile count larger
+    // than the bytes could possibly hold must not reach the allocator.
+    if n_nodes as u64 * 9 > buf.remaining() as u64 {
+        return Err(PersistError::Truncated);
     }
     let mut nodes = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
@@ -108,7 +121,12 @@ fn decode_tree(buf: &mut &[u8]) -> Result<DecisionTree, PersistError> {
                         return Err(PersistError::BadLink(link));
                     }
                 }
-                nodes.push(Node::split(feature, threshold, left as usize, right as usize));
+                nodes.push(Node::split(
+                    feature,
+                    threshold,
+                    left as usize,
+                    right as usize,
+                ));
             }
             t => return Err(PersistError::BadTag(t)),
         }
@@ -151,9 +169,17 @@ impl RandomForest {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let n_trees = buf.get_u32_le() as usize;
+        // The smallest tree (count + one leaf) takes 13 bytes; bound the
+        // allocation by what the buffer could possibly hold.
+        if n_trees as u64 * 13 > buf.remaining() as u64 {
+            return Err(PersistError::Truncated);
+        }
         let mut trees = Vec::with_capacity(n_trees);
         for _ in 0..n_trees {
             trees.push(decode_tree(&mut buf)?);
+        }
+        if buf.has_remaining() {
+            return Err(PersistError::TrailingBytes(buf.remaining()));
         }
         Ok(RandomForest::from_trees(trees))
     }
@@ -171,10 +197,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let mut d = Dataset::new(3);
         for _ in 0..400 {
-            let row = [rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)];
+            let row = [
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+            ];
             d.push(&row, row[0] + row[1] > 10.0);
         }
-        let mut f = RandomForest::new(RandomForestParams { n_trees: 9, ..Default::default() });
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees: 9,
+            ..Default::default()
+        });
         f.fit(&d);
         (f, d)
     }
@@ -199,7 +232,10 @@ mod tests {
         let (forest, _) = trained_forest();
         let mut bytes = forest.to_bytes();
         bytes[0] = b'X';
-        assert_eq!(RandomForest::from_bytes(&bytes).err(), Some(PersistError::BadMagic));
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::BadMagic)
+        );
     }
 
     #[test]
@@ -219,7 +255,10 @@ mod tests {
         let bytes = forest.to_bytes();
         // Every strict prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {
-            assert!(RandomForest::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+            assert!(
+                RandomForest::from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
         }
     }
 
@@ -230,12 +269,56 @@ mod tests {
         // First node tag lives right after header + first tree's node count.
         let idx = 4 + 2 + 4 + 4;
         bytes[idx] = 7;
-        assert_eq!(RandomForest::from_bytes(&bytes).err(), Some(PersistError::BadTag(7)));
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::BadTag(7))
+        );
     }
 
     #[test]
     fn error_messages_are_descriptive() {
         assert_eq!(PersistError::Truncated.to_string(), "buffer truncated");
         assert!(PersistError::BadLink(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (forest, _) = trained_forest();
+        let mut bytes = forest.to_bytes();
+        bytes.push(0xAB);
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn hostile_tree_count_cannot_allocate() {
+        // Header claims u32::MAX trees but carries no tree bytes: must be
+        // rejected before any allocation sized by the count.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"OPRF");
+        bytes.put_u16_le(1);
+        bytes.put_u32_le(u32::MAX);
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::Truncated)
+        );
+    }
+
+    #[test]
+    fn hostile_node_count_cannot_allocate() {
+        // One tree claiming u32::MAX nodes, backed by a single leaf.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"OPRF");
+        bytes.put_u16_le(1);
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u8(0);
+        bytes.put_f64_le(0.5);
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::Truncated)
+        );
     }
 }

@@ -33,7 +33,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_features: None, max_depth: None, min_samples_split: 2, seed: 0 }
+        Self {
+            max_features: None,
+            max_depth: None,
+            min_samples_split: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ impl Node {
 
     /// An internal split node.
     pub(crate) fn split(feature: usize, threshold: f64, left: usize, right: usize) -> Self {
-        Node::Split { feature, threshold, left, right }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        }
     }
 }
 
@@ -75,7 +85,10 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an untrained tree with the given parameters.
     pub fn new(params: TreeParams) -> Self {
-        Self { params, nodes: Vec::new() }
+        Self {
+            params,
+            nodes: Vec::new(),
+        }
     }
 
     /// Anomaly probability of one sample: the anomaly fraction of the leaf
@@ -86,8 +99,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if features[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if features[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -128,8 +150,16 @@ impl DecisionTree {
                     let verdict = if *prob >= 0.5 { "Anomaly" } else { "Normal" };
                     out.push_str(&format!("{pad}=> {verdict} (p={prob:.2})\n"));
                 }
-                Node::Split { feature, threshold, left, right } => {
-                    let name = names.get(*feature).cloned().unwrap_or_else(|| format!("f{feature}"));
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let name = names
+                        .get(*feature)
+                        .cloned()
+                        .unwrap_or_else(|| format!("f{feature}"));
                     out.push_str(&format!("{pad}if severity[{name}] < {threshold:.3}:\n"));
                     walk(nodes, *left, names, indent + 1, out);
                     out.push_str(&format!("{pad}else:\n"));
@@ -144,7 +174,13 @@ impl DecisionTree {
         out
     }
 
-    fn build(&mut self, data: &Dataset, indices: &mut [usize], depth: usize, rng: &mut StdRng) -> usize {
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         let positives = indices.iter().filter(|&&i| data.label(i)).count();
         let n = indices.len();
         let prob = positives as f64 / n as f64;
@@ -175,7 +211,12 @@ impl DecisionTree {
                 let (left_ids, right_ids) = indices.split_at_mut(mid);
                 let left = self.build(data, left_ids, depth + 1, rng);
                 let right = self.build(data, right_ids, depth + 1, rng);
-                self.nodes[placeholder] = Node::Split { feature, threshold, left, right };
+                self.nodes[placeholder] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 placeholder
             }
         }
@@ -205,7 +246,11 @@ fn best_split(
 
     for &feature in feature_order.iter().take(k) {
         pairs.clear();
-        pairs.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
+        pairs.extend(
+            indices
+                .iter()
+                .map(|&i| (data.row(i)[feature], data.label(i))),
+        );
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
 
         let mut left_n = 0.0;
@@ -225,7 +270,8 @@ fn best_split(
                 let p = pos / cnt;
                 2.0 * p * (1.0 - p)
             };
-            let weighted = (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+            let weighted =
+                (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
             if best.is_none_or(|(b, _, _)| weighted < b) {
                 let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
                 best = Some((weighted, feature, threshold));
@@ -255,7 +301,11 @@ impl Classifier for DecisionTree {
 
 /// Fits a tree on (a bootstrap of) the dataset using the given row indices —
 /// the exact-split entry point used by the random forest.
-pub(crate) fn fit_on_indices(params: TreeParams, data: &Dataset, indices: &mut [usize]) -> DecisionTree {
+pub(crate) fn fit_on_indices(
+    params: TreeParams,
+    data: &Dataset,
+    indices: &mut [usize],
+) -> DecisionTree {
     let mut tree = DecisionTree::new(params);
     let mut rng = StdRng::seed_from_u64(tree.params.seed);
     tree.build(data, indices, 0, &mut rng);
@@ -303,7 +353,10 @@ mod tests {
     #[test]
     fn depth_cap_respected() {
         let d = separable();
-        let mut t = DecisionTree::new(TreeParams { max_depth: Some(1), ..Default::default() });
+        let mut t = DecisionTree::new(TreeParams {
+            max_depth: Some(1),
+            ..Default::default()
+        });
         t.fit(&d);
         assert!(t.depth() <= 1);
     }
@@ -362,7 +415,11 @@ mod tests {
 
     #[test]
     fn feature_subset_of_one_still_learns_something() {
-        let mut t = DecisionTree::new(TreeParams { max_features: Some(1), seed: 3, ..Default::default() });
+        let mut t = DecisionTree::new(TreeParams {
+            max_features: Some(1),
+            seed: 3,
+            ..Default::default()
+        });
         let d = separable();
         t.fit(&d);
         // With only f0 informative and random subsets, the tree may need

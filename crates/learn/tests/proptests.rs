@@ -108,6 +108,25 @@ proptest! {
         prop_assert_eq!(restored.predict_proba(&probe), p);
     }
 
+    /// The model decoder is total: arbitrary bytes never panic, they
+    /// either decode or return an error. This is the load-bearing property
+    /// for reading model files off disk after a crash.
+    #[test]
+    fn forest_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = RandomForest::from_bytes(&bytes);
+    }
+
+    /// Same, with a valid magic + version prefix so the fuzz bytes reach
+    /// the count/node decoding paths instead of dying at the header.
+    #[test]
+    fn forest_decoder_never_panics_past_header(
+        mut bytes in prop::collection::vec(any::<u8>(), 6..600),
+    ) {
+        bytes[..4].copy_from_slice(b"OPRF");
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let _ = RandomForest::from_bytes(&bytes);
+    }
+
     /// Dataset subsetting and column selection commute with row access.
     #[test]
     fn dataset_views_consistent(

@@ -17,7 +17,10 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Option<Vec<f64>> {
     }
     let mut out = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag.min(n - 1) {
-        let c: f64 = (lag..n).map(|i| (xs[i] - mean) * (xs[i - lag] - mean)).sum::<f64>() / n as f64;
+        let c: f64 = (lag..n)
+            .map(|i| (xs[i] - mean) * (xs[i - lag] - mean))
+            .sum::<f64>()
+            / n as f64;
         out.push(c / c0);
     }
     Some(out)

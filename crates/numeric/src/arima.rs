@@ -146,7 +146,13 @@ pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
         let _ = t;
     }
     let sigma2 = (sse / rows as f64).max(1e-300);
-    Some(ArimaModel { order, ar, ma, intercept, sigma2 })
+    Some(ArimaModel {
+        order,
+        ar,
+        ma,
+        intercept,
+        sigma2,
+    })
 }
 
 /// Estimates the "best" ARIMA model from the data: `d` by variance
@@ -193,7 +199,12 @@ impl ArimaState {
     /// Panics if `model.order.d > 2`.
     pub fn new(model: ArimaModel) -> Self {
         assert!(model.order.d <= 2, "only d <= 2 supported");
-        Self { model, raw_tail: VecDeque::new(), w_hist: VecDeque::new(), e_hist: VecDeque::new() }
+        Self {
+            model,
+            raw_tail: VecDeque::new(),
+            w_hist: VecDeque::new(),
+            e_hist: VecDeque::new(),
+        }
     }
 
     /// The wrapped model.
@@ -204,7 +215,12 @@ impl ArimaState {
     /// Forecast of the differenced series's next value, or `None` until
     /// enough history has accumulated.
     fn forecast_w(&self) -> Option<f64> {
-        let ArimaModel { ref ar, ref ma, intercept, .. } = self.model;
+        let ArimaModel {
+            ref ar,
+            ref ma,
+            intercept,
+            ..
+        } = self.model;
         if self.w_hist.len() < ar.len() || self.e_hist.len() < ma.len() {
             return None;
         }
@@ -362,7 +378,10 @@ mod tests {
             }
         }
         assert!(n > 3000);
-        assert!(sse_model < 0.8 * sse_mean, "model {sse_model} vs mean {sse_mean}");
+        assert!(
+            sse_model < 0.8 * sse_mean,
+            "model {sse_model} vs mean {sse_mean}"
+        );
     }
 
     #[test]

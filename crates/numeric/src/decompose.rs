@@ -74,7 +74,11 @@ pub fn decompose(xs: &[f64], period: usize, robust: bool) -> Decomposition {
 
     let seasonal: Vec<f64> = (0..n).map(|i| seasonal_profile[i % period]).collect();
     let residual: Vec<f64> = (0..n).map(|i| xs[i] - trend[i] - seasonal[i]).collect();
-    Decomposition { trend, seasonal, residual }
+    Decomposition {
+        trend,
+        seasonal,
+        residual,
+    }
 }
 
 /// Spread (σ-like scale) of the residuals: standard deviation for the plain
@@ -151,7 +155,10 @@ mod tests {
         let plain_spread = residual_spread(&plain.residual, false);
         let robust_spread = residual_spread(&robust.residual, true);
         // The robust spread stays near the clean value; std is inflated.
-        assert!(robust_spread < plain_spread / 3.0, "{robust_spread} vs {plain_spread}");
+        assert!(
+            robust_spread < plain_spread / 3.0,
+            "{robust_spread} vs {plain_spread}"
+        );
         // And the outlier's residual z-score is much larger under MAD.
         let z_plain = plain.residual[100].abs() / plain_spread;
         let z_robust = robust.residual[100].abs() / robust_spread;

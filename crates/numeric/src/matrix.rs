@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.
@@ -143,7 +147,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("NaN in solve")
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("NaN in solve")
         })?;
         if m[pivot][col].abs() < 1e-12 {
             return None;

@@ -85,7 +85,14 @@ impl HoltWinters {
             assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
         }
         assert!(season_len >= 2, "season_len must be at least 2");
-        Self { alpha, beta, gamma, season_len, buffer: Vec::new(), state: None }
+        Self {
+            alpha,
+            beta,
+            gamma,
+            season_len,
+            buffer: Vec::new(),
+            state: None,
+        }
     }
 
     /// Points required before forecasts start (two full seasons).
@@ -109,9 +116,12 @@ impl HoltWinters {
                 let forecast = state.level + state.trend + state.seasonal[state.pos];
                 let s_old = state.seasonal[state.pos];
                 let level_old = state.level;
-                state.level = self.alpha * (x - s_old) + (1.0 - self.alpha) * (state.level + state.trend);
-                state.trend = self.beta * (state.level - level_old) + (1.0 - self.beta) * state.trend;
-                state.seasonal[state.pos] = self.gamma * (x - state.level) + (1.0 - self.gamma) * s_old;
+                state.level =
+                    self.alpha * (x - s_old) + (1.0 - self.alpha) * (state.level + state.trend);
+                state.trend =
+                    self.beta * (state.level - level_old) + (1.0 - self.beta) * state.trend;
+                state.seasonal[state.pos] =
+                    self.gamma * (x - state.level) + (1.0 - self.gamma) * s_old;
                 state.pos = (state.pos + 1) % m;
                 Some(forecast)
             }
@@ -120,7 +130,9 @@ impl HoltWinters {
 
     /// The forecast for the next (unseen) point, or `None` during warm-up.
     pub fn next_forecast(&self) -> Option<f64> {
-        self.state.as_ref().map(|s| s.level + s.trend + s.seasonal[s.pos])
+        self.state
+            .as_ref()
+            .map(|s| s.level + s.trend + s.seasonal[s.pos])
     }
 
     fn initialize(&mut self) {
@@ -134,7 +146,12 @@ impl HoltWinters {
         let seasonal: Vec<f64> = (0..m)
             .map(|i| ((s1[i] - mean1) + (s2[i] - mean2)) / 2.0)
             .collect();
-        self.state = Some(HwState { level, trend, seasonal, pos: 0 });
+        self.state = Some(HwState {
+            level,
+            trend,
+            seasonal,
+            pos: 0,
+        });
         self.buffer.clear();
         self.buffer.shrink_to_fit();
     }

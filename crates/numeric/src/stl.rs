@@ -50,7 +50,12 @@ pub struct StlParams {
 
 impl Default for StlParams {
     fn default() -> Self {
-        Self { seasonal_smoother: 7, trend_smoother: 0, robust_iterations: 1, inner_iterations: 2 }
+        Self {
+            seasonal_smoother: 7,
+            trend_smoother: 0,
+            robust_iterations: 1,
+            inner_iterations: 2,
+        }
     }
 }
 
@@ -163,7 +168,8 @@ pub fn stl(xs: &[f64], period: usize, params: StlParams) -> Stl {
         params.trend_smoother
     } else {
         // STL's default trend span heuristic.
-        (((1.5 * period as f64) / (1.0 - 1.5 / params.seasonal_smoother as f64)).ceil() as usize) | 1
+        (((1.5 * period as f64) / (1.0 - 1.5 / params.seasonal_smoother as f64)).ceil() as usize)
+            | 1
     };
 
     let mut trend = vec![0.0; n];
@@ -180,8 +186,9 @@ pub fn stl(xs: &[f64], period: usize, params: StlParams) -> Stl {
             for phase in 0..period {
                 let idx: Vec<usize> = (phase..n).step_by(period).collect();
                 let sub: Vec<f64> = idx.iter().map(|&i| detrended[i]).collect();
-                let sub_w: Option<Vec<f64>> =
-                    weights.as_ref().map(|w| idx.iter().map(|&i| w[i]).collect());
+                let sub_w: Option<Vec<f64>> = weights
+                    .as_ref()
+                    .map(|w| idx.iter().map(|&i| w[i]).collect());
                 let smoothed = loess(&sub, params.seasonal_smoother, sub_w.as_deref());
                 for (&i, &s) in idx.iter().zip(&smoothed) {
                     raw_seasonal[i] = s;
@@ -211,14 +218,17 @@ pub fn stl(xs: &[f64], period: usize, params: StlParams) -> Stl {
 
         // Outer loop: robustness weights from the residuals.
         if params.robust_iterations > 0 {
-            let residual: Vec<f64> =
-                (0..n).map(|i| xs[i] - trend[i] - seasonal[i]).collect();
+            let residual: Vec<f64> = (0..n).map(|i| xs[i] - trend[i] - seasonal[i]).collect();
             weights = Some(bisquare_weights(&residual));
         }
     }
 
     let residual: Vec<f64> = (0..n).map(|i| xs[i] - trend[i] - seasonal[i]).collect();
-    Stl { trend, seasonal, residual }
+    Stl {
+        trend,
+        seasonal,
+        residual,
+    }
 }
 
 #[cfg(test)]
@@ -282,12 +292,27 @@ mod tests {
         let mut xs = signal(360, 24, 10.0, 0.0);
         xs[100] += 300.0;
         xs[200] -= 300.0;
-        let robust = stl(&xs, 24, StlParams { robust_iterations: 2, ..Default::default() });
+        let robust = stl(
+            &xs,
+            24,
+            StlParams {
+                robust_iterations: 2,
+                ..Default::default()
+            },
+        );
         // The outliers land in the residual, not the trend/seasonal.
-        assert!(robust.residual[100] > 200.0, "outlier absorbed: {}", robust.residual[100]);
+        assert!(
+            robust.residual[100] > 200.0,
+            "outlier absorbed: {}",
+            robust.residual[100]
+        );
         assert!(robust.residual[200] < -200.0);
         // The trend near the outlier stays close to the clean level (0).
-        assert!(robust.trend[100].abs() < 30.0, "trend contaminated: {}", robust.trend[100]);
+        assert!(
+            robust.trend[100].abs() < 30.0,
+            "trend contaminated: {}",
+            robust.trend[100]
+        );
     }
 
     #[test]
@@ -299,7 +324,14 @@ mod tests {
         for i in (96..120).step_by(3) {
             xs[i] += 150.0;
         }
-        let s = stl(&xs, 24, StlParams { robust_iterations: 2, ..Default::default() });
+        let s = stl(
+            &xs,
+            24,
+            StlParams {
+                robust_iterations: 2,
+                ..Default::default()
+            },
+        );
         let c = crate::decompose::decompose(&xs, 24, false);
         // Probe clean points one period after the contamination.
         let probe = 130..150;

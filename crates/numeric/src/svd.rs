@@ -53,7 +53,11 @@ pub fn svd(a: &Matrix) -> Svd {
     if a.rows() < a.cols() {
         // svd(Aᵀ) = (V, Σ, U); swap back.
         let t = svd(&a.transpose());
-        return Svd { u: t.v, sigma: t.sigma, v: t.u };
+        return Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        };
     }
     let m = a.rows();
     let n = a.cols();
@@ -216,7 +220,11 @@ mod tests {
         let mut a = Matrix::zeros(6, 3);
         for r in 0..6 {
             for c in 0..3 {
-                a.set(r, c, (r + 1) as f64 * (c + 1) as f64 + 0.01 * ((r * 3 + c) % 2) as f64);
+                a.set(
+                    r,
+                    c,
+                    (r + 1) as f64 * (c + 1) as f64 + 0.01 * ((r * 3 + c) % 2) as f64,
+                );
             }
         }
         let d = svd(&a);

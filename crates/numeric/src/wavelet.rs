@@ -123,7 +123,10 @@ pub fn mra_haar(xs: &[f64], levels: usize) -> Mra {
 
     let details: Vec<Vec<f64>> = (0..levels).map(|l| reconstruct(Some(l), &approx)).collect();
     let approx_band = reconstruct(None, &approx);
-    Mra { details, approx: approx_band }
+    Mra {
+        details,
+        approx: approx_band,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +170,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_lives_in_finest_detail() {
-        let xs: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mra = mra_haar(&xs, 4);
         // Mean is zero; everything is in detail level 1.
         assert_vec_close(&mra.details[0], &xs, 1e-10);

@@ -19,9 +19,18 @@
 //! are single lines starting with `OK`, `ERR` or `BYE`.
 //!
 //! ```text
-//! HELLO <interval_seconds>      first command; fixes the KPI's interval
-//! PREF <recall> <precision>     set the accuracy preference (before HELLO's
-//!                               first RETRAIN; default 0.66 0.66)
+//! HELLO <interval_seconds> [session_id]
+//!                               first command; fixes the KPI's interval.
+//!                               With a session id (and a server state
+//!                               directory) the session is durable: every
+//!                               applied command is write-ahead logged and
+//!                               the trained state snapshotted.
+//! RESUME <session_id>           instead of HELLO: rebuild a durable
+//!                               session after a disconnect or server
+//!                               crash; verdicts continue exactly where
+//!                               they left off
+//! PREF <recall> <precision>     set the accuracy preference, each in
+//!                               (0, 1] (before HELLO; default 0.66 0.66)
 //! OBS <ts> <value|nan>          feed one point -> verdict (or "pending")
 //! LABEL <flags>                 label the oldest unlabeled points; flags is
 //!                               a string of 0/1, one per point
@@ -29,12 +38,37 @@
 //! STATUS                        counters and current cThld
 //! QUIT                          close the connection
 //! ```
+//!
+//! ## Robustness
+//!
+//! The serving layer is hardened against misbehaving clients and process
+//! crashes:
+//!
+//! - **Durability.** Durable sessions append every acknowledged command to
+//!   a per-session write-ahead log *before* the `OK` goes out, and
+//!   periodically snapshot the trained state (forest, threshold predictor,
+//!   labels) atomically. `RESUME` replays the log around the latest
+//!   snapshot; because training is deterministically seeded, a resumed
+//!   session produces byte-identical verdicts to one that never crashed.
+//! - **Timeouts.** A line must complete within a deadline once its first
+//!   byte arrives (anti-slowloris), and connections with no traffic are
+//!   reaped, so one hung client can never pin a thread forever.
+//! - **Load shedding.** Connections beyond the configured cap are answered
+//!   `ERR busy` and closed instead of degrading everyone.
+//! - **Panic isolation.** A panic while handling a command is caught,
+//!   answered with `ERR internal error`, and takes down only that
+//!   connection — never the server.
+//!
+//! All knobs live on [`ServerConfig`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod proto;
 mod service;
+mod store;
+pub mod testing;
 
-pub use proto::{parse_request, Request, Response};
-pub use service::{Server, ServerHandle};
+pub use proto::{parse_request, validate_session_id, Request, Response};
+pub use service::{Server, ServerConfig, ServerHandle};
+pub use store::{SessionStore, StoreError};

@@ -1,8 +1,17 @@
 //! `opprentice-serve` — run the Opprentice TCP service.
 //!
 //! ```text
-//! opprentice-serve [ADDR]     # default 127.0.0.1:4755 ("OPpr" on a phone pad)
+//! opprentice-serve [ADDR] [--state-dir DIR]
 //! ```
+//!
+//! Defaults to `127.0.0.1:4755` ("OPpr" on a phone pad). With
+//! `--state-dir`, clients may open durable sessions
+//! (`HELLO <interval> <id>`) and recover them (`RESUME <id>`) across
+//! disconnects and server restarts.
+//!
+//! `SIGINT`/`SIGTERM` trigger a graceful drain: the accept loop stops,
+//! live connections are unwound, and durable sessions flush a final
+//! snapshot before the process exits.
 //!
 //! Try it interactively:
 //!
@@ -15,13 +24,67 @@
 //! OK pending
 //! ```
 
-use opprentice_server::Server;
+use opprentice_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip a flag, let a thread act on it.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT (2) and SIGTERM (15) via the libc
+/// `signal(2)` entry point — the one bit of FFI this binary needs, kept
+/// out of the (`forbid(unsafe_code)`) library.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
 
 fn main() -> std::io::Result<()> {
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:4755".to_string());
-    let server = Server::bind(&addr)?;
+    let mut addr = "127.0.0.1:4755".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--state-dir needs a path");
+                    std::process::exit(2);
+                });
+                config.state_dir = Some(PathBuf::from(dir));
+            }
+            other => addr = other.to_string(),
+        }
+    }
+
+    install_signal_handlers();
+    let server = Server::bind_with(&addr, config)?;
     let handle = server.handle();
     eprintln!("opprentice-serve listening on {}", handle.addr());
-    eprintln!("protocol: HELLO <interval> | OBS <ts> <value|nan> | LABEL <flags> | RETRAIN | STATUS | QUIT");
+    eprintln!(
+        "protocol: HELLO <interval> [session] | RESUME <session> | OBS <ts> <value|nan> | \
+         LABEL <flags> | RETRAIN | STATUS | QUIT"
+    );
+
+    // The signal handler can only flip a flag; this thread turns the flag
+    // into a graceful drain.
+    std::thread::spawn(move || loop {
+        if STOP.load(Ordering::SeqCst) {
+            eprintln!("opprentice-serve: shutting down");
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
     server.serve()
 }

@@ -6,16 +6,27 @@
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `HELLO <interval_seconds>` — must be the first command.
+    /// `HELLO <interval_seconds> [session_id]` — must be the first command.
+    /// With a session id (and a server-side state directory) the session is
+    /// durable: every applied command is write-ahead logged and the trained
+    /// state snapshotted, so `RESUME` can rebuild it after a crash.
     Hello {
         /// KPI sampling interval in seconds.
         interval: u32,
+        /// Durable session id (`[A-Za-z0-9_-]{1,64}`), if any.
+        session: Option<String>,
+    },
+    /// `RESUME <session_id>` — instead of `HELLO`: rebuild a durable
+    /// session from its write-ahead log and latest snapshot.
+    Resume {
+        /// The durable session id to recover.
+        session: String,
     },
     /// `PREF <recall> <precision>` — set the accuracy preference.
     Pref {
-        /// Minimum acceptable recall, in `[0, 1]`.
+        /// Minimum acceptable recall, in `(0, 1]`.
         recall: f64,
-        /// Minimum acceptable precision, in `[0, 1]`.
+        /// Minimum acceptable precision, in `(0, 1]`.
         precision: f64,
     },
     /// `OBS <ts> <value|nan>` — feed one point.
@@ -61,6 +72,22 @@ impl Response {
     }
 }
 
+/// Validates a durable session id: it becomes a directory name on the
+/// server, so the alphabet is locked down hard (no separators, no dots —
+/// nothing a path traversal could be built from).
+pub fn validate_session_id(id: &str) -> Result<(), String> {
+    if id.is_empty() || id.len() > 64 {
+        return Err("session id must be 1..=64 chars".to_string());
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err("session id may only contain [A-Za-z0-9_-]".to_string());
+    }
+    Ok(())
+}
+
 /// Parses one request line. Returns `Err` with a human-readable reason on
 /// malformed input (the connection stays usable — bad lines are answered
 /// with `ERR`, not dropped, so an operator poking at the port with netcat
@@ -78,20 +105,46 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if interval == 0 || interval > 7 * 86_400 {
                 return Err("interval out of range".to_string());
             }
-            Request::Hello { interval }
+            let session = match parts.next() {
+                Some(id) => {
+                    validate_session_id(id)?;
+                    Some(id.to_string())
+                }
+                None => None,
+            };
+            Request::Hello { interval, session }
+        }
+        "RESUME" => {
+            let id = parts.next().ok_or("RESUME needs a session id")?;
+            validate_session_id(id)?;
+            Request::Resume {
+                session: id.to_string(),
+            }
         }
         "PREF" => {
-            let recall: f64 = parts.next().ok_or("PREF needs recall")?.parse().map_err(|_| "bad recall")?;
-            let precision: f64 =
-                parts.next().ok_or("PREF needs precision")?.parse().map_err(|_| "bad precision")?;
-            if !(0.0..=1.0).contains(&recall) || !(0.0..=1.0).contains(&precision) {
-                return Err("preference out of [0, 1]".to_string());
+            let recall: f64 = parts
+                .next()
+                .ok_or("PREF needs recall")?
+                .parse()
+                .map_err(|_| "bad recall")?;
+            let precision: f64 = parts
+                .next()
+                .ok_or("PREF needs precision")?
+                .parse()
+                .map_err(|_| "bad precision")?;
+            // Zero would make the preference vacuous (every operating point
+            // "satisfies" recall >= 0), so the domain is half-open.
+            if !(recall > 0.0 && recall <= 1.0 && precision > 0.0 && precision <= 1.0) {
+                return Err("preference out of (0, 1]".to_string());
             }
             Request::Pref { recall, precision }
         }
         "OBS" => {
-            let timestamp: i64 =
-                parts.next().ok_or("OBS needs a timestamp")?.parse().map_err(|_| "bad timestamp")?;
+            let timestamp: i64 = parts
+                .next()
+                .ok_or("OBS needs a timestamp")?
+                .parse()
+                .map_err(|_| "bad timestamp")?;
             let raw = parts.next().ok_or("OBS needs a value")?;
             let value = if raw.eq_ignore_ascii_case("nan") {
                 None
@@ -136,19 +189,52 @@ mod tests {
 
     #[test]
     fn parses_every_command() {
-        assert_eq!(parse_request("HELLO 60"), Ok(Request::Hello { interval: 60 }));
+        assert_eq!(
+            parse_request("HELLO 60"),
+            Ok(Request::Hello {
+                interval: 60,
+                session: None
+            })
+        );
+        assert_eq!(
+            parse_request("HELLO 60 web-pv_7"),
+            Ok(Request::Hello {
+                interval: 60,
+                session: Some("web-pv_7".into())
+            })
+        );
+        assert_eq!(
+            parse_request("RESUME web-pv_7"),
+            Ok(Request::Resume {
+                session: "web-pv_7".into()
+            })
+        );
         assert_eq!(
             parse_request("PREF 0.66 0.66"),
-            Ok(Request::Pref { recall: 0.66, precision: 0.66 })
+            Ok(Request::Pref {
+                recall: 0.66,
+                precision: 0.66
+            })
         );
         assert_eq!(
             parse_request("OBS 1000 42.5"),
-            Ok(Request::Obs { timestamp: 1000, value: Some(42.5) })
+            Ok(Request::Obs {
+                timestamp: 1000,
+                value: Some(42.5)
+            })
         );
-        assert_eq!(parse_request("OBS 1000 nan"), Ok(Request::Obs { timestamp: 1000, value: None }));
+        assert_eq!(
+            parse_request("OBS 1000 nan"),
+            Ok(Request::Obs {
+                timestamp: 1000,
+                value: None
+            })
+        );
         assert_eq!(
             parse_request("LABEL 0101"),
-            Ok(Request::Label { flags: vec![false, true, false, true] })
+            Ok(Request::Label {
+                flags: vec![false, true, false, true]
+            })
         );
         assert_eq!(parse_request("RETRAIN"), Ok(Request::Retrain));
         assert_eq!(parse_request("STATUS"), Ok(Request::Status));
@@ -157,8 +243,45 @@ mod tests {
 
     #[test]
     fn commands_are_case_insensitive() {
-        assert_eq!(parse_request("hello 300"), Ok(Request::Hello { interval: 300 }));
-        assert_eq!(parse_request("obs 0 NaN"), Ok(Request::Obs { timestamp: 0, value: None }));
+        assert_eq!(
+            parse_request("hello 300"),
+            Ok(Request::Hello {
+                interval: 300,
+                session: None
+            })
+        );
+        assert_eq!(
+            parse_request("obs 0 NaN"),
+            Ok(Request::Obs {
+                timestamp: 0,
+                value: None
+            })
+        );
+    }
+
+    #[test]
+    fn session_ids_are_locked_down() {
+        // The id becomes a directory name: nothing traversal-shaped.
+        for bad in ["..", "a/b", "a\\b", "a.b", "", "a b", &"x".repeat(65)] {
+            assert!(validate_session_id(bad).is_err(), "{bad:?} accepted");
+            assert!(
+                parse_request(&format!("RESUME {bad}")).is_err(),
+                "{bad:?} parsed"
+            );
+        }
+        for good in ["a", "A-1", "web_pv", &"x".repeat(64)] {
+            assert!(validate_session_id(good).is_ok(), "{good:?} rejected");
+        }
+    }
+
+    #[test]
+    fn zero_preference_is_rejected() {
+        // recall = 0 or precision = 0 makes the preference vacuous.
+        assert!(parse_request("PREF 0 0.5").is_err());
+        assert!(parse_request("PREF 0.5 0").is_err());
+        assert!(parse_request("PREF 0.0 0.0").is_err());
+        assert!(parse_request("PREF 1 1").is_ok());
+        assert!(parse_request("PREF nan 0.5").is_err());
     }
 
     #[test]

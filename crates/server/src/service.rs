@@ -1,57 +1,133 @@
-//! The TCP transport: accept loop, per-connection session, graceful
-//! shutdown.
+//! The TCP transport: accept loop, per-connection session, connection
+//! hardening (timeouts, load shedding, panic isolation), durable-session
+//! orchestration, graceful shutdown.
 
 use crate::proto::{parse_request, Request, Response};
+use crate::store::{DurableSession, SessionStore};
 use opprentice::cthld::Preference;
 use opprentice::{Opprentice, OpprenticeConfig};
 use opprentice_learn::RandomForestParams;
 use opprentice_timeseries::Labels;
 use parking_lot::Mutex;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for the serving layer. The defaults suit production; tests
+/// shrink the timeouts and the forest.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Forest size per session.
+    pub n_trees: usize,
+    /// Root directory for durable session state (WALs + snapshots).
+    /// `None` disables `HELLO <interval> <id>` and `RESUME`.
+    pub state_dir: Option<PathBuf>,
+    /// Granularity of the per-connection read loop: how often a blocked
+    /// read wakes up to check deadlines and the shutdown flag.
+    pub read_tick: Duration,
+    /// A line must complete within this once its first byte arrives
+    /// (defeats slowloris clients that trickle one byte at a time).
+    pub line_deadline: Duration,
+    /// Connections with no complete line for this long are reaped.
+    pub idle_timeout: Duration,
+    /// Lines longer than this get `ERR` + disconnect (bounds memory per
+    /// connection against garbage floods).
+    pub max_line_len: usize,
+    /// Connections beyond this are answered `ERR busy` and closed
+    /// immediately instead of degrading everyone.
+    pub max_connections: usize,
+    /// Snapshot a durable session every N applied commands.
+    pub snapshot_every: u64,
+    /// Test hook: accept a `PANIC` verb that panics inside the command
+    /// handler, to exercise panic isolation from the outside. Never enable
+    /// in production.
+    pub enable_panic_verb: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            n_trees: 50,
+            state_dir: None,
+            read_tick: Duration::from_millis(50),
+            line_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            max_line_len: 1 << 20,
+            max_connections: 256,
+            snapshot_every: 256,
+            enable_panic_verb: false,
+        }
+    }
+}
 
 /// One client's session state: the protocol state machine around one
-/// [`Opprentice`] pipeline.
-struct Session {
+/// [`Opprentice`] pipeline. Pure — no I/O — so the store can replay
+/// commands through it during recovery.
+pub(crate) struct Session {
     pipeline: Option<Opprentice>,
     preference: Preference,
     n_trees: usize,
 }
 
 impl Session {
-    fn new(n_trees: usize) -> Self {
-        Self { pipeline: None, preference: Preference::moderate(), n_trees }
+    pub(crate) fn new(n_trees: usize) -> Self {
+        Self {
+            pipeline: None,
+            preference: Preference::moderate(),
+            n_trees,
+        }
     }
 
-    fn handle(&mut self, request: Request) -> Response {
+    pub(crate) fn pipeline_mut(&mut self) -> Option<&mut Opprentice> {
+        self.pipeline.as_mut()
+    }
+
+    /// Applies one request to the state machine. `HELLO`'s session id and
+    /// `RESUME` are connection-level concerns handled before this point;
+    /// here `HELLO` just configures the pipeline.
+    pub(crate) fn apply(&mut self, request: &Request) -> Response {
         match request {
-            Request::Hello { interval } => {
+            Request::Hello {
+                interval,
+                session: _,
+            } => {
                 if self.pipeline.is_some() {
                     return Response::Err("already configured".into());
                 }
                 let config = OpprenticeConfig {
                     preference: self.preference,
-                    forest: RandomForestParams { n_trees: self.n_trees, ..Default::default() },
+                    forest: RandomForestParams {
+                        n_trees: self.n_trees,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
-                self.pipeline = Some(Opprentice::new(interval, config));
+                self.pipeline = Some(Opprentice::new(*interval, config));
                 Response::Ok(format!("opprentice interval={interval}"))
             }
+            Request::Resume { .. } => {
+                Response::Err("RESUME must be the first command on a fresh connection".into())
+            }
             Request::Pref { recall, precision } => {
-                self.preference = Preference { recall, precision };
                 if self.pipeline.is_some() {
                     // Applies from the next HELLO; keep semantics simple.
                     return Response::Err("PREF must precede HELLO".into());
                 }
+                self.preference = Preference {
+                    recall: *recall,
+                    precision: *precision,
+                };
                 Response::Ok(format!("pref recall={recall} precision={precision}"))
             }
             Request::Obs { timestamp, value } => {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
-                match p.observe(timestamp, value) {
+                match p.observe(*timestamp, *value) {
                     Some(d) => Response::Ok(format!(
                         "p={:.4} cthld={:.3} anomaly={}",
                         d.probability,
@@ -65,12 +141,10 @@ impl Session {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
-                let unlabeled = p.observed_len() - p.labeled_len();
-                if flags.len() > unlabeled {
-                    return Response::Err(format!("only {unlabeled} points are unlabeled"));
+                match p.ingest_labels(&Labels::from_flags(flags.clone())) {
+                    Ok(()) => Response::Ok(format!("labeled={}", p.labeled_len())),
+                    Err(e) => Response::Err(e.to_string()),
                 }
-                p.ingest_labels(&Labels::from_flags(flags));
-                Response::Ok(format!("labeled={}", p.labeled_len()))
             }
             Request::Retrain => {
                 let Some(p) = self.pipeline.as_mut() else {
@@ -97,41 +171,223 @@ impl Session {
     }
 }
 
-/// Runs one connection to completion.
-fn serve_connection(stream: TcpStream, n_trees: usize) {
-    let peer = stream.peer_addr().ok();
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+/// Shared, immutable context handed to every connection thread.
+struct ConnCtx {
+    config: ServerConfig,
+    store: Option<SessionStore>,
+    stop: Arc<AtomicBool>,
+}
+
+/// True for commands that mutate session state and therefore belong in
+/// the write-ahead log.
+fn is_durable_command(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Hello { .. }
+            | Request::Pref { .. }
+            | Request::Obs { .. }
+            | Request::Label { .. }
+            | Request::Retrain
+    )
+}
+
+/// Parses and applies one trimmed, non-empty line; maintains the WAL and
+/// periodic snapshots for durable sessions. Runs inside `catch_unwind`.
+fn apply_line(
+    trimmed: &str,
+    session: &mut Session,
+    durable: &mut Option<DurableSession>,
+    ctx: &ConnCtx,
+) -> Response {
+    if ctx.config.enable_panic_verb && trimmed.eq_ignore_ascii_case("PANIC") {
+        panic!("injected test panic");
+    }
+    let request = match parse_request(trimmed) {
+        Ok(r) => r,
+        Err(reason) => return Response::Err(reason),
     };
-    let mut reader = BufReader::new(stream);
-    let mut session = Session::new(n_trees);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // disconnect
-            Ok(_) => {}
+
+    // Connection-level setup commands that involve the store.
+    match &request {
+        Request::Hello {
+            session: Some(id), ..
+        } => {
+            let Some(store) = ctx.store.as_ref() else {
+                return Response::Err("durable sessions need a server state directory".into());
+            };
+            if session.pipeline.is_some() {
+                return Response::Err("already configured".into());
+            }
+            let mut new_durable = match store.create(id, ctx.config.n_trees) {
+                Ok(d) => d,
+                Err(e) => return Response::Err(e.to_string()),
+            };
+            let response = session.apply(&request);
+            if let Response::Ok(_) = &response {
+                // A `PREF` sent before this `HELLO` predates the WAL, so the
+                // effective preference is synthesized into the log here —
+                // otherwise a pre-snapshot crash would silently reset a
+                // recovered session to the default preference.
+                let pref = format!(
+                    "PREF {} {}",
+                    session.preference.recall, session.preference.precision
+                );
+                for line in [pref.as_str(), trimmed] {
+                    if let Err(e) = new_durable.append(line) {
+                        return Response::Err(format!("session store I/O: {e}"));
+                    }
+                }
+                *durable = Some(new_durable);
+            }
+            return response;
         }
-        if line.trim().is_empty() {
-            continue;
+        Request::Resume { session: id } => {
+            let Some(store) = ctx.store.as_ref() else {
+                return Response::Err("durable sessions need a server state directory".into());
+            };
+            if session.pipeline.is_some() {
+                return Response::Err("already configured".into());
+            }
+            return match store.resume(id) {
+                Ok((d, recovered)) => {
+                    *session = recovered;
+                    *durable = Some(d);
+                    let status = session.apply(&Request::Status);
+                    match status {
+                        Response::Ok(s) => Response::Ok(format!("resumed {s}")),
+                        other => other,
+                    }
+                }
+                Err(e) => Response::Err(e.to_string()),
+            };
         }
-        let response = match parse_request(line.trim()) {
-            Ok(req) => session.handle(req),
-            Err(reason) => Response::Err(reason),
-        };
-        let quit = response == Response::Bye;
-        if writer.write_all(response.render().as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            break;
-        }
-        if quit {
-            break;
+        _ => {}
+    }
+
+    let response = session.apply(&request);
+
+    if let (Response::Ok(_), Some(d)) = (&response, durable.as_mut()) {
+        if is_durable_command(&request) {
+            // Append after apply, before the OK goes out: every command the
+            // client sees acknowledged is on disk.
+            if let Err(e) = d.append(trimmed) {
+                return Response::Err(format!("session store I/O: {e}"));
+            }
+            if d.since_snapshot() >= ctx.config.snapshot_every {
+                if let Some(p) = session.pipeline_mut() {
+                    // Snapshot failure is non-fatal: the WAL alone is
+                    // sufficient for recovery, just slower.
+                    let _ = d.snapshot(p);
+                }
+            }
         }
     }
-    let _ = peer;
+    response
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Runs one connection to completion with the full hardening stack:
+/// tick-based reads (so deadlines and shutdown are honored), slowloris and
+/// idle timeouts, a line-length cap, per-command panic isolation, and
+/// durable-session bookkeeping with a final snapshot on clean exit.
+fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = stream;
+    let _ = reader.set_read_timeout(Some(ctx.config.read_tick));
+
+    let mut session = Session::new(ctx.config.n_trees);
+    let mut durable: Option<DurableSession> = None;
+    let mut poisoned = false;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let mut last_line_at = Instant::now();
+    let mut line_started_at: Option<Instant> = None;
+
+    'outer: loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            break; // graceful drain: finish via the snapshot path below
+        }
+        match reader.read(&mut scratch) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                if line_started_at.is_none() {
+                    line_started_at = Some(Instant::now());
+                }
+                buf.extend_from_slice(&scratch[..n]);
+                if buf.len() > ctx.config.max_line_len {
+                    let _ = write_line(&mut writer, "ERR line too long");
+                    break;
+                }
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+                    line_started_at = if buf.is_empty() {
+                        None
+                    } else {
+                        Some(Instant::now())
+                    };
+                    last_line_at = Instant::now();
+                    let line = String::from_utf8_lossy(&line_bytes);
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    // A panicking handler must take down this connection
+                    // only: answer ERR, drop the session, keep serving
+                    // everyone else. The session is considered poisoned —
+                    // no final snapshot is taken from it.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        apply_line(trimmed, &mut session, &mut durable, &ctx)
+                    }));
+                    let (response, done) = match outcome {
+                        Ok(Response::Bye) => (Response::Bye, true),
+                        Ok(r) => (r, false),
+                        Err(_) => {
+                            poisoned = true;
+                            (Response::Err("internal error".into()), true)
+                        }
+                    };
+                    if write_line(&mut writer, &response.render()).is_err() || done {
+                        break 'outer;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let now = Instant::now();
+                if let Some(started) = line_started_at {
+                    if now.duration_since(started) > ctx.config.line_deadline {
+                        let _ = write_line(&mut writer, "ERR line timeout");
+                        break;
+                    }
+                } else if now.duration_since(last_line_at) > ctx.config.idle_timeout {
+                    let _ = write_line(&mut writer, "ERR idle timeout");
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+
+    if !poisoned {
+        if let Some(d) = durable.as_mut() {
+            if let Some(p) = session.pipeline_mut() {
+                let _ = d.snapshot(p);
+            }
+            let _ = d.sync();
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Both);
 }
 
 /// Handle used to stop a running [`Server`] from another thread.
@@ -147,7 +403,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown; the accept loop exits after its current cycle.
+    /// Requests shutdown. The accept loop exits, live connections drain
+    /// (flushing durable state) within one read tick, and `serve` joins
+    /// them before returning.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the blocking accept with a throwaway connection.
@@ -161,15 +419,30 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     stop: Arc<AtomicBool>,
-    /// Forest size per session (tunable for tests).
-    pub n_trees: usize,
+    config: ServerConfig,
+    store: Option<SessionStore>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
+    /// Binds to `addr` (use port 0 for an ephemeral port) with defaults.
     pub fn bind(addr: &str) -> std::io::Result<Server> {
+        Self::bind_with(addr, ServerConfig::default())
+    }
+
+    /// Binds with explicit configuration. Opens (creating if necessary)
+    /// the durable state root when one is configured.
+    pub fn bind_with(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, stop: Arc::new(AtomicBool::new(false)), n_trees: 50 })
+        let store = match &config.state_dir {
+            Some(dir) => Some(SessionStore::open(dir)?),
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+            config,
+            store,
+        })
     }
 
     /// A handle for shutting the server down.
@@ -181,9 +454,19 @@ impl Server {
     }
 
     /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
-    /// Connection threads are joined before returning, so a clean shutdown
-    /// never strands a session mid-write.
+    ///
+    /// Hardening at the accept layer: finished worker handles are reaped
+    /// every accept (no unbounded `JoinHandle` growth under churn), and
+    /// connections beyond `max_connections` are shed with `ERR busy`
+    /// instead of queueing. Connection threads are joined before
+    /// returning, so a clean shutdown never strands a session mid-write.
     pub fn serve(self) -> std::io::Result<()> {
+        let ctx = Arc::new(ConnCtx {
+            config: self.config,
+            store: self.store,
+            stop: self.stop.clone(),
+        });
+        let active = Arc::new(AtomicUsize::new(0));
         let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         for conn in self.listener.incoming() {
@@ -191,9 +474,20 @@ impl Server {
                 break;
             }
             match conn {
-                Ok(stream) => {
-                    let n_trees = self.n_trees;
-                    let handle = std::thread::spawn(move || serve_connection(stream, n_trees));
+                Ok(mut stream) => {
+                    workers.lock().retain(|h| !h.is_finished());
+                    if active.load(Ordering::SeqCst) >= ctx.config.max_connections {
+                        let _ = stream.write_all(b"ERR busy\n");
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let guard = ConnGuard(active.clone());
+                    let ctx = ctx.clone();
+                    let handle = std::thread::spawn(move || {
+                        let _guard = guard;
+                        serve_connection(stream, ctx);
+                    });
                     workers.lock().push(handle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
@@ -207,9 +501,21 @@ impl Server {
     }
 }
 
+/// Decrements the live-connection count when a worker exits by any path
+/// (including a panic that escapes `serve_connection`, which cannot happen
+/// today but must not wedge the cap if it ever does).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader};
 
     /// A tiny blocking test client.
     struct Client {
@@ -221,22 +527,35 @@ mod tests {
         fn connect(addr: SocketAddr) -> Client {
             let stream = TcpStream::connect(addr).expect("connect");
             let writer = stream.try_clone().expect("clone");
-            Client { reader: BufReader::new(stream), writer }
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
         }
 
         fn send(&mut self, line: &str) -> String {
             self.writer.write_all(line.as_bytes()).unwrap();
             self.writer.write_all(b"\n").unwrap();
             self.writer.flush().unwrap();
+            self.read_line()
+        }
+
+        fn read_line(&mut self) -> String {
             let mut out = String::new();
             self.reader.read_line(&mut out).unwrap();
             out.trim_end().to_string()
         }
     }
 
-    fn start_server() -> (ServerHandle, std::thread::JoinHandle<()>) {
-        let mut server = Server::bind("127.0.0.1:0").expect("bind");
-        server.n_trees = 8; // keep test retraining fast
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            n_trees: 8,
+            ..Default::default()
+        } // small forest: fast retrains
+    }
+
+    fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
         let handle = server.handle();
         let join = std::thread::spawn(move || server.serve().expect("serve"));
         (handle, join)
@@ -246,11 +565,14 @@ mod tests {
     /// online verdicts — the full protocol lifecycle over a real socket.
     #[test]
     fn full_protocol_lifecycle() {
-        let (handle, join) = start_server();
+        let (handle, join) = start_server(test_config());
         let mut c = Client::connect(handle.addr());
 
         assert!(c.send("HELLO 3600").starts_with("OK opprentice"));
-        assert_eq!(c.send("STATUS"), "OK observed=0 labeled=0 trained=0 cthld=0.500");
+        assert_eq!(
+            c.send("STATUS"),
+            "OK observed=0 labeled=0 trained=0 cthld=0.500"
+        );
 
         // Stream 21 days of hourly data with a spike every 63 hours.
         let n = 21 * 24;
@@ -282,7 +604,7 @@ mod tests {
 
     #[test]
     fn protocol_errors_keep_the_connection_alive() {
-        let (handle, join) = start_server();
+        let (handle, join) = start_server(test_config());
         let mut c = Client::connect(handle.addr());
 
         // Everything before HELLO that needs a pipeline: ERR.
@@ -307,7 +629,7 @@ mod tests {
 
     #[test]
     fn preference_must_precede_hello() {
-        let (handle, join) = start_server();
+        let (handle, join) = start_server(test_config());
         let mut c = Client::connect(handle.addr());
         assert!(c.send("PREF 0.8 0.6").starts_with("OK pref"));
         assert!(c.send("HELLO 60").starts_with("OK"));
@@ -319,7 +641,7 @@ mod tests {
 
     #[test]
     fn concurrent_connections_are_isolated() {
-        let (handle, join) = start_server();
+        let (handle, join) = start_server(test_config());
         let mut a = Client::connect(handle.addr());
         let mut b = Client::connect(handle.addr());
         assert!(a.send("HELLO 60").starts_with("OK"));
@@ -327,8 +649,14 @@ mod tests {
         assert!(b.send("OBS 0 1.0").starts_with("ERR"));
         assert!(b.send("HELLO 300").starts_with("OK"));
         a.send("OBS 0 5.0");
-        assert_eq!(a.send("STATUS"), "OK observed=1 labeled=0 trained=0 cthld=0.500");
-        assert_eq!(b.send("STATUS"), "OK observed=0 labeled=0 trained=0 cthld=0.500");
+        assert_eq!(
+            a.send("STATUS"),
+            "OK observed=1 labeled=0 trained=0 cthld=0.500"
+        );
+        assert_eq!(
+            b.send("STATUS"),
+            "OK observed=0 labeled=0 trained=0 cthld=0.500"
+        );
         a.send("QUIT");
         b.send("QUIT");
         handle.shutdown();
@@ -337,7 +665,7 @@ mod tests {
 
     #[test]
     fn disconnect_without_quit_is_fine() {
-        let (handle, join) = start_server();
+        let (handle, join) = start_server(test_config());
         {
             let mut c = Client::connect(handle.addr());
             assert!(c.send("HELLO 60").starts_with("OK"));
@@ -347,6 +675,84 @@ mod tests {
         let mut c2 = Client::connect(handle.addr());
         assert!(c2.send("HELLO 60").starts_with("OK"));
         c2.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            read_tick: Duration::from_millis(20),
+            ..test_config()
+        };
+        let (handle, join) = start_server(config);
+        let mut c = Client::connect(handle.addr());
+        assert!(c.send("HELLO 60").starts_with("OK"));
+        // Go silent; the server must hang up on us, not wait forever.
+        assert_eq!(c.read_line(), "ERR idle timeout");
+        assert_eq!(c.read_line(), ""); // EOF
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let config = ServerConfig {
+            max_line_len: 64,
+            ..test_config()
+        };
+        let (handle, join) = start_server(config);
+        let mut c = Client::connect(handle.addr());
+        c.writer.write_all(&vec![b'A'; 256]).unwrap();
+        c.writer.flush().unwrap();
+        assert_eq!(c.read_line(), "ERR line too long");
+        assert_eq!(c.read_line(), ""); // EOF
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn excess_connections_are_shed_with_err_busy() {
+        let config = ServerConfig {
+            max_connections: 1,
+            ..test_config()
+        };
+        let (handle, join) = start_server(config);
+        let mut first = Client::connect(handle.addr());
+        assert!(first.send("HELLO 60").starts_with("OK"));
+        // The slot is taken: the next connection is turned away at once.
+        let mut second = Client::connect(handle.addr());
+        assert_eq!(second.read_line(), "ERR busy");
+        // The first connection is unaffected.
+        assert!(first.send("STATUS").starts_with("OK"));
+        first.send("QUIT");
+        // With the slot free again (allow a tick for the reap), new
+        // connections are served.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut third = Client::connect(handle.addr());
+            let reply = third.send("HELLO 60");
+            if reply.starts_with("OK") {
+                third.send("QUIT");
+                break;
+            }
+            assert!(Instant::now() < deadline, "slot never freed: {reply}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn resume_without_state_dir_is_a_clean_error() {
+        let (handle, join) = start_server(test_config());
+        let mut c = Client::connect(handle.addr());
+        assert!(c.send("RESUME some-session").starts_with("ERR"));
+        assert!(c.send("HELLO 60 some-session").starts_with("ERR"));
+        // The connection is still usable for an ephemeral session.
+        assert!(c.send("HELLO 60").starts_with("OK"));
+        c.send("QUIT");
         handle.shutdown();
         join.join().unwrap();
     }

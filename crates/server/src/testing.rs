@@ -1,0 +1,148 @@
+//! Chaos-testing utilities: a blocking line-protocol client plus a fault
+//! injector that mistreats the server in the ways real networks do.
+//!
+//! Lives in the library (rather than `#[cfg(test)]`) so integration and
+//! workspace-level chaos tests can drive a real server over real sockets
+//! with the same tooling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A tiny blocking test client for the line protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one command line and returns the one-line response (trimmed).
+    pub fn send(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one response line (trimmed). An empty string means EOF.
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut out = String::new();
+        self.reader.read_line(&mut out)?;
+        Ok(out.trim_end().to_string())
+    }
+
+    /// Writes raw bytes without framing (for malformed-input injection).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Bounds how long reads may block.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Closes the connection abruptly, without `QUIT`.
+    pub fn kill(self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+/// Injects client-side faults against a running server.
+pub struct FaultInjector {
+    addr: SocketAddr,
+}
+
+impl FaultInjector {
+    /// Targets the server at `addr`.
+    pub fn new(addr: SocketAddr) -> FaultInjector {
+        FaultInjector { addr }
+    }
+
+    /// Slowloris: trickles the bytes of `line` one at a time with `gap`
+    /// between them, never sending the newline. Returns the server's
+    /// response line once it loses patience (empty string if it just
+    /// closed the socket).
+    pub fn slowloris(&self, line: &str, gap: Duration) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        for &b in line.as_bytes() {
+            if stream.write_all(&[b]).is_err() {
+                break; // server already hung up on us
+            }
+            std::thread::sleep(gap);
+        }
+        let mut out = String::new();
+        let _ = reader.read_line(&mut out);
+        Ok(out.trim_end().to_string())
+    }
+
+    /// Sends a partial command (no newline) and disconnects mid-line.
+    pub fn disconnect_mid_command(&self, partial: &str) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(partial.as_bytes())?;
+        stream.flush()?;
+        stream.shutdown(Shutdown::Both)
+    }
+
+    /// Floods the server with `lines` lines of deterministic pseudo-random
+    /// garbage (including non-UTF-8 bytes), reading the response to each.
+    /// Returns how many `ERR` responses came back; stops early if the
+    /// server hangs up.
+    pub fn garbage_flood(&self, lines: usize, seed: u64) -> std::io::Result<usize> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        // A bare LCG keeps this dependency-free and reproducible.
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut errs = 0;
+        for _ in 0..lines {
+            let mut junk = Vec::with_capacity(33);
+            let len = 1 + (state >> 33) as usize % 32;
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mut byte = (state >> 56) as u8;
+                // No control/whitespace bytes: an accidentally blank line
+                // gets no response and would deadlock the flood loop.
+                if byte <= 0x20 || byte == 0x7F {
+                    byte = b'?';
+                }
+                junk.push(byte);
+            }
+            junk.push(b'\n');
+            if writer.write_all(&junk).is_err() {
+                break;
+            }
+            let mut response = String::new();
+            match reader.read_line(&mut response) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if response.starts_with("ERR") => errs += 1,
+                Ok(_) => {}
+            }
+        }
+        Ok(errs)
+    }
+
+    /// Opens a connection and leaves it completely silent, returning the
+    /// stream so the caller controls its lifetime. The server's idle
+    /// reaper should eventually hang up.
+    pub fn connect_and_stall(&self) -> std::io::Result<TcpStream> {
+        TcpStream::connect(self.addr)
+    }
+}

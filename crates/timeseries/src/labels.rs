@@ -64,7 +64,9 @@ pub struct Labels {
 impl Labels {
     /// All-normal labels for a series of `len` points.
     pub fn all_normal(len: usize) -> Self {
-        Self { flags: vec![false; len] }
+        Self {
+            flags: vec![false; len],
+        }
     }
 
     /// Builds labels from raw per-point flags.
@@ -155,7 +157,9 @@ impl Labels {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Labels {
-        Labels { flags: self.flags[range].to_vec() }
+        Labels {
+            flags: self.flags[range].to_vec(),
+        }
     }
 
     /// Decomposes the point labels into maximal anomalous windows — the
@@ -214,7 +218,8 @@ mod tests {
 
     #[test]
     fn from_windows_marks_points() {
-        let labels = Labels::from_windows(10, &[AnomalyWindow::new(2, 4), AnomalyWindow::new(7, 9)]);
+        let labels =
+            Labels::from_windows(10, &[AnomalyWindow::new(2, 4), AnomalyWindow::new(7, 9)]);
         let marked: Vec<usize> = (0..10).filter(|&i| labels.is_anomaly(i)).collect();
         assert_eq!(marked, vec![2, 3, 7, 8]);
         assert_eq!(labels.anomaly_count(), 4);
@@ -228,13 +233,18 @@ mod tests {
 
     #[test]
     fn overlapping_windows_do_not_double_count() {
-        let labels = Labels::from_windows(10, &[AnomalyWindow::new(2, 6), AnomalyWindow::new(4, 8)]);
+        let labels =
+            Labels::from_windows(10, &[AnomalyWindow::new(2, 6), AnomalyWindow::new(4, 8)]);
         assert_eq!(labels.anomaly_count(), 6);
     }
 
     #[test]
     fn to_windows_round_trip() {
-        let windows = vec![AnomalyWindow::new(0, 2), AnomalyWindow::new(5, 6), AnomalyWindow::new(8, 10)];
+        let windows = vec![
+            AnomalyWindow::new(0, 2),
+            AnomalyWindow::new(5, 6),
+            AnomalyWindow::new(8, 10),
+        ];
         let labels = Labels::from_windows(10, &windows);
         assert_eq!(labels.to_windows(), windows);
     }

@@ -46,13 +46,21 @@ impl TimeSeries {
     /// Panics if `interval` is zero.
     pub fn new(start: i64, interval: u32) -> Self {
         assert!(interval > 0, "interval must be positive");
-        Self { start, interval, values: Vec::new() }
+        Self {
+            start,
+            interval,
+            values: Vec::new(),
+        }
     }
 
     /// Creates a series from raw values (use `NaN` for missing points).
     pub fn from_values(start: i64, interval: u32, values: Vec<f64>) -> Self {
         assert!(interval > 0, "interval must be positive");
-        Self { start, interval, values }
+        Self {
+            start,
+            interval,
+            values,
+        }
     }
 
     /// Epoch second of the first point.
@@ -165,7 +173,10 @@ impl TimeSeries {
 
     /// Iterator over `(timestamp, Option<value>)` pairs.
     pub fn iter(&self) -> TimeSeriesIter<'_> {
-        TimeSeriesIter { series: self, idx: 0 }
+        TimeSeriesIter {
+            series: self,
+            idx: 0,
+        }
     }
 
     /// Fraction of points that are missing.
@@ -192,7 +203,10 @@ impl Iterator for TimeSeriesIter<'_> {
         if self.idx >= self.series.len() {
             return None;
         }
-        let item = (self.series.timestamp_at(self.idx), self.series.get(self.idx));
+        let item = (
+            self.series.timestamp_at(self.idx),
+            self.series.get(self.idx),
+        );
         self.idx += 1;
         Some(item)
     }

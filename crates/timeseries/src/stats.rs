@@ -192,7 +192,9 @@ mod tests {
     fn weak_seasonality_for_noise() {
         // Deterministic pseudo-noise with no daily structure.
         let n = 24 * 14;
-        let vals: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) % 1000) as f64).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64)
+            .collect();
         let ts = TimeSeries::from_values(0, 3600, vals);
         assert_eq!(seasonality_band(&ts), Some(Seasonality::Weak));
     }

@@ -25,8 +25,10 @@ fn dataset(matrix: &FeatureMatrix, labels: &Labels, normalize: bool) -> Dataset 
     let scales: Vec<f64> = if normalize {
         (0..m)
             .map(|c| {
-                let mut xs: Vec<f64> =
-                    (0..matrix.len()).filter(|&i| matrix.usable(i)).map(|i| matrix.row(i)[c]).collect();
+                let mut xs: Vec<f64> = (0..matrix.len())
+                    .filter(|&i| matrix.usable(i))
+                    .map(|i| matrix.row(i)[c])
+                    .collect();
                 xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let q = xs[(xs.len() as f64 * 0.99) as usize % xs.len()];
                 if q > 0.0 {
@@ -42,7 +44,12 @@ fn dataset(matrix: &FeatureMatrix, labels: &Labels, normalize: bool) -> Dataset 
     let mut ds = Dataset::new(m);
     for i in 0..matrix.len() {
         if matrix.usable(i) {
-            let row: Vec<f64> = matrix.row(i).iter().zip(&scales).map(|(v, s)| v / s).collect();
+            let row: Vec<f64> = matrix
+                .row(i)
+                .iter()
+                .zip(&scales)
+                .map(|(v, s)| v / s)
+                .collect();
             ds.push(&row, labels.is_anomaly(i));
         }
     }
@@ -60,7 +67,10 @@ fn main() {
 
     let source = source_spec.generate();
     let target = target_spec.generate();
-    println!("source: {} (base {})  target: same type, base {}\n", source.name, source_spec.base, target_spec.base);
+    println!(
+        "source: {} (base {})  target: same type, base {}\n",
+        source.name, source_spec.base, target_spec.base
+    );
 
     let source_matrix = extract_features(&source.series);
     let target_matrix = extract_features(&target.series);
@@ -68,14 +78,25 @@ fn main() {
     for normalize in [false, true] {
         let train = dataset(&source_matrix, &source.truth, normalize);
         let test = dataset(&target_matrix, &target.truth, normalize);
-        let mut forest = RandomForest::new(RandomForestParams { n_trees: 30, ..Default::default() });
+        let mut forest = RandomForest::new(RandomForestParams {
+            n_trees: 30,
+            ..Default::default()
+        });
         forest.fit(&train);
-        let scores: Vec<Option<f64>> = (0..test.len()).map(|i| Some(forest.score(test.row(i)))).collect();
+        let scores: Vec<Option<f64>> = (0..test.len())
+            .map(|i| Some(forest.score(test.row(i))))
+            .collect();
         let auc = auc_pr_of(&scores, test.labels());
         println!(
             "{:<28} transfer AUCPR on the 4x-volume sibling KPI: {auc:.3}",
-            if normalize { "normalized features:" } else { "raw severities:" }
+            if normalize {
+                "normalized features:"
+            } else {
+                "raw severities:"
+            }
         );
     }
-    println!("\nAs §6 predicts, per-KPI feature normalization is what makes the classifier reusable.");
+    println!(
+        "\nAs §6 predicts, per-KPI feature normalization is what makes the classifier reusable."
+    );
 }

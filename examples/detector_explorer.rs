@@ -22,7 +22,11 @@ fn main() {
         .unwrap_or_else(presets::pv);
     let spec = presets::fast(&spec, 300);
     let kpi = spec.generate();
-    println!("Detector explorer on {} ({} points)\n", kpi.name, kpi.series.len());
+    println!(
+        "Detector explorer on {} ({} points)\n",
+        kpi.name,
+        kpi.series.len()
+    );
 
     // Run all 133 configurations; keep the best AUCPR per detector family.
     let mut best: BTreeMap<&'static str, (String, f64)> = BTreeMap::new();
@@ -30,7 +34,9 @@ fn main() {
         let severities = run_detector(cfg.detector.as_mut(), &kpi.series);
         let auc = auc_pr_of(&severities, kpi.truth.flags());
         let name = cfg.detector.name();
-        let entry = best.entry(name).or_insert_with(|| (cfg.detector.config(), f64::MIN));
+        let entry = best
+            .entry(name)
+            .or_insert_with(|| (cfg.detector.config(), f64::MIN));
         if auc > entry.1 {
             *entry = (cfg.detector.config(), auc);
         }
@@ -38,7 +44,10 @@ fn main() {
 
     let mut ranked: Vec<_> = best.into_iter().collect();
     ranked.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).expect("finite AUCPR"));
-    println!("{:<22} {:<28} {:>7}", "detector family", "best configuration", "AUCPR");
+    println!(
+        "{:<22} {:<28} {:>7}",
+        "detector family", "best configuration", "AUCPR"
+    );
     for (name, (config, auc)) in &ranked {
         println!("{name:<22} {config:<28} {auc:>7.3}");
     }

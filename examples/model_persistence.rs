@@ -17,14 +17,22 @@ fn main() {
     let matrix = extract_features(&kpi.series);
     let (train, _) = matrix.dataset(&session.labels, 0..matrix.len());
 
-    let mut forest = RandomForest::new(RandomForestParams { n_trees: 40, ..Default::default() });
+    let mut forest = RandomForest::new(RandomForestParams {
+        n_trees: 40,
+        ..Default::default()
+    });
     forest.fit(&train);
 
     // Save.
     let bytes = forest.to_bytes();
     let path = std::env::temp_dir().join("opprentice_model.bin");
     std::fs::write(&path, &bytes).expect("write model");
-    println!("saved {} trees ({} bytes) to {}", forest.tree_count(), bytes.len(), path.display());
+    println!(
+        "saved {} trees ({} bytes) to {}",
+        forest.tree_count(),
+        bytes.len(),
+        path.display()
+    );
 
     // Restore (e.g. after a crash or deploy).
     let restored_bytes = std::fs::read(&path).expect("read model");
@@ -34,7 +42,11 @@ fn main() {
     // Identical verdicts, point for point.
     let mut checked = 0usize;
     for i in (0..matrix.len()).step_by(7) {
-        assert_eq!(forest.score(matrix.row(i)), restored.score(matrix.row(i)), "row {i}");
+        assert_eq!(
+            forest.score(matrix.row(i)),
+            restored.score(matrix.row(i)),
+            "row {i}"
+        );
         checked += 1;
     }
     println!("verified {checked} scores identical — safe to resume detection immediately");

@@ -21,14 +21,21 @@ fn main() {
     let mut opp = Opprentice::new(
         kpi.series.interval(),
         OpprenticeConfig {
-            forest: RandomForestParams { n_trees: 30, ..Default::default() },
+            forest: RandomForestParams {
+                n_trees: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
     let cut = history_weeks * ppw;
-    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut));
+    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut))
+        .expect("fresh pipeline accepts history");
     assert!(opp.retrain());
-    println!("bootstrapped on {history_weeks} weeks of labeled history; cThld {:.3}\n", opp.current_cthld());
+    println!(
+        "bootstrapped on {history_weeks} weeks of labeled history; cThld {:.3}\n",
+        opp.current_cthld()
+    );
 
     let mut alerts = 0usize;
     let mut true_alerts = 0usize;
@@ -47,7 +54,8 @@ fn main() {
             }
         }
         // Sunday night: the operator labels the week, Opprentice retrains.
-        opp.ingest_labels(&session.labels.slice(start..end));
+        opp.ingest_labels(&session.labels.slice(start..end))
+            .expect("labels cover observed points");
         opp.retrain();
         println!(
             "week {:>2}: {:>4} alerts so far ({} correct), next week's cThld {:.3}",
@@ -57,6 +65,10 @@ fn main() {
             opp.current_cthld()
         );
     }
-    let precision = if alerts == 0 { 1.0 } else { true_alerts as f64 / alerts as f64 };
+    let precision = if alerts == 0 {
+        1.0
+    } else {
+        true_alerts as f64 / alerts as f64
+    };
     println!("\nlive precision over 8 streamed weeks: {precision:.2} ({true_alerts}/{alerts} alerts correct)");
 }

@@ -4,8 +4,8 @@
 //! Run: `cargo run --release --example quickstart`
 
 use opprentice_repro::datagen::{presets, SimulatedOperator};
-use opprentice_repro::opprentice::{Opprentice, OpprenticeConfig, Preference};
 use opprentice_repro::learn::RandomForestParams;
+use opprentice_repro::opprentice::{Opprentice, OpprenticeConfig, Preference};
 
 fn main() {
     // 1. A KPI to monitor. Real deployments read this from SNMP, syslogs
@@ -17,7 +17,12 @@ fn main() {
     // Hold the last week back as the "live" stream.
     let ppw = kpi.series.points_per_week();
     let cut = 10 * ppw;
-    println!("KPI {}: {} points at {}s interval", kpi.name, kpi.series.len(), kpi.series.interval());
+    println!(
+        "KPI {}: {} points at {}s interval",
+        kpi.name,
+        kpi.series.len(),
+        kpi.series.interval()
+    );
 
     // 2. The operators' only manual work: labeling anomaly windows with
     //    the tool of §4.2 (simulated here, including human boundary noise).
@@ -33,12 +38,19 @@ fn main() {
     //    features, a random forest learns the anomaly concept, and the
     //    cThld is auto-configured to the accuracy preference.
     let config = OpprenticeConfig {
-        preference: Preference { recall: 0.66, precision: 0.66 },
-        forest: RandomForestParams { n_trees: 40, ..Default::default() },
+        preference: Preference {
+            recall: 0.66,
+            precision: 0.66,
+        },
+        forest: RandomForestParams {
+            n_trees: 40,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut opp = Opprentice::new(kpi.series.interval(), config);
-    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut));
+    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut))
+        .expect("fresh pipeline accepts history");
     assert!(opp.retrain(), "need at least one labeled anomaly to train");
     println!("trained; cThld = {:.3}", opp.current_cthld());
 
@@ -58,9 +70,19 @@ fn main() {
     }
     let normal = last.expect("trained");
     let next_ts = kpi.series.timestamp_at(kpi.series.len() - 1) + i64::from(kpi.series.interval());
-    let spike = opp.observe(next_ts, Some(last_normal_value + 300.0)).expect("trained");
-    println!("last streamed point: p(anomaly) = {:.2} -> {}", normal.probability, verdict(normal.is_anomaly));
-    println!("injected latency spike: p(anomaly) = {:.2} -> {}", spike.probability, verdict(spike.is_anomaly));
+    let spike = opp
+        .observe(next_ts, Some(last_normal_value + 300.0))
+        .expect("trained");
+    println!(
+        "last streamed point: p(anomaly) = {:.2} -> {}",
+        normal.probability,
+        verdict(normal.is_anomaly)
+    );
+    println!(
+        "injected latency spike: p(anomaly) = {:.2} -> {}",
+        spike.probability,
+        verdict(spike.is_anomaly)
+    );
     assert!(spike.probability > normal.probability);
     assert!(spike.is_anomaly);
 }

@@ -18,8 +18,14 @@ use opprentice_repro::opprentice::cthld::{best_cthld, Preference};
 use opprentice_repro::opprentice::extract_features;
 
 fn main() {
-    let pref = Preference { recall: 0.66, precision: 0.66 };
-    println!("Search-engine KPI monitoring, preference: recall >= {} and precision >= {}\n", pref.recall, pref.precision);
+    let pref = Preference {
+        recall: 0.66,
+        precision: 0.66,
+    };
+    println!(
+        "Search-engine KPI monitoring, preference: recall >= {} and precision >= {}\n",
+        pref.recall, pref.precision
+    );
 
     for spec in presets::all() {
         // 5-minute fast scale for the minute KPIs (see DESIGN.md §1).
@@ -32,7 +38,10 @@ fn main() {
 
         // Train on the first 8 operator-labeled weeks.
         let (train, _) = matrix.dataset(&session.labels, 0..split);
-        let mut forest = RandomForest::new(RandomForestParams { n_trees: 40, ..Default::default() });
+        let mut forest = RandomForest::new(RandomForestParams {
+            n_trees: 40,
+            ..Default::default()
+        });
         forest.fit(&train);
 
         // Detect everything after.
@@ -42,10 +51,17 @@ fn main() {
         let truth = &session.labels.flags()[split..];
         let curve = pr_curve(&scores, truth);
         let cthld = best_cthld(&curve, &pref).unwrap_or(0.5);
-        let predicted: Vec<bool> = scores.iter().map(|s| s.is_some_and(|s| s >= cthld)).collect();
+        let predicted: Vec<bool> = scores
+            .iter()
+            .map(|s| s.is_some_and(|s| s >= cthld))
+            .collect();
         let (recall, precision) = precision_recall(&predicted, truth);
 
-        let met = if pref.satisfied_by(recall, precision) { "MET" } else { "approximated" };
+        let met = if pref.satisfied_by(recall, precision) {
+            "MET"
+        } else {
+            "approximated"
+        };
         println!(
             "{:<5} recall {:.2}  precision {:.2}  (cThld {:.3})  preference {met}",
             kpi.name, recall, precision, cthld

@@ -1,0 +1,346 @@
+//! Chaos tests: the serving layer under hostile clients and crashes.
+//!
+//! Everything here drives a real `Server` over real TCP sockets using the
+//! fault-injection utilities in `opprentice_server::testing`. The tests
+//! check the tentpole robustness guarantees end to end:
+//!
+//! - a slowloris client cannot block other clients,
+//! - mid-command disconnects and garbage floods are harmless,
+//! - a connection storm is shed with `ERR busy`, not by degrading everyone,
+//! - a killed-and-resumed durable session produces verdicts identical to a
+//!   session that was never interrupted — across client crashes, a handler
+//!   panic, *and* a full server restart,
+//! - a panicking handler takes down only its own connection.
+
+use opprentice_server::testing::{Client, FaultInjector};
+use opprentice_server::{Server, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        n_trees: 8,
+        ..Default::default()
+    } // small forest: fast retrains
+}
+
+fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.serve().expect("serve"));
+    (handle, join)
+}
+
+/// A unique scratch directory per test (no external tempdir crate).
+fn scratch() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("opprentice-chaos-{}-{nonce}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The shared workload: a daily-patterned KPI with labeled spikes.
+/// Returns (OBS lines, label flags).
+fn kpi_stream(hours: usize) -> (Vec<String>, String) {
+    let mut obs = Vec::with_capacity(hours);
+    let mut flags = String::with_capacity(hours);
+    for i in 0..hours {
+        let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+        let anomalous = i % 63 == 50 || i % 63 == 51;
+        let v = if anomalous { base + 150.0 } else { base };
+        obs.push(format!("OBS {} {v}", i * 3600));
+        flags.push(if anomalous { '1' } else { '0' });
+    }
+    (obs, flags)
+}
+
+fn send_all(c: &mut Client, lines: &[String]) -> Vec<String> {
+    lines.iter().map(|l| c.send(l).expect("send")).collect()
+}
+
+/// Reconnects and `RESUME`s a durable session. An abruptly killed
+/// connection holds its session lease until the server finishes unwinding
+/// it, so "session busy" is retried briefly.
+fn resume(addr: std::net::SocketAddr, id: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c = Client::connect(addr).expect("connect");
+        let reply = c.send(&format!("RESUME {id}")).expect("resume");
+        if reply.starts_with("OK resumed") {
+            return c;
+        }
+        if !reply.contains("busy") || Instant::now() >= deadline {
+            panic!("RESUME {id} failed: {reply}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn slowloris_does_not_block_other_clients() {
+    let config = ServerConfig {
+        line_deadline: Duration::from_millis(400),
+        read_tick: Duration::from_millis(20),
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+    let addr = handle.addr();
+
+    // The attacker trickles one byte every 50 ms and never finishes a line.
+    let attacker = std::thread::spawn(move || {
+        FaultInjector::new(addr)
+            .slowloris(
+                &"OBS 0 1.0 and then some padding".repeat(8),
+                Duration::from_millis(50),
+            )
+            .expect("slowloris io")
+    });
+
+    // Meanwhile a well-behaved client must see normal latency throughout.
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(c.send("HELLO 3600").unwrap().starts_with("OK"));
+    let started = Instant::now();
+    for i in 0..50 {
+        let reply = c.send(&format!("OBS {} 100.0", i * 3600)).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+    }
+    // 50 round-trips while the attack runs: seconds would mean the
+    // attacker pinned the server; this must be near-instant.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "well-behaved client starved: {:?}",
+        started.elapsed()
+    );
+    c.send("QUIT").unwrap();
+
+    // The attacker was cut off with an explicit timeout error.
+    assert_eq!(attacker.join().unwrap(), "ERR line timeout");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn disconnects_and_garbage_are_harmless() {
+    let (handle, join) = start_server(test_config());
+    let inject = FaultInjector::new(handle.addr());
+
+    // Clients vanishing mid-command, repeatedly.
+    for partial in ["OBS 12 4", "HELLO", "LAB", "RETR"] {
+        inject
+            .disconnect_mid_command(partial)
+            .expect("mid-command disconnect");
+    }
+    // A flood of binary junk: every line answered with ERR, nothing else.
+    let errs = inject.garbage_flood(200, 0xBAD5EED).expect("flood");
+    assert_eq!(errs, 200, "some garbage line crashed or wedged the server");
+
+    // The server is entirely unimpressed.
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    assert!(c.send("HELLO 60").unwrap().starts_with("OK"));
+    assert!(c.send("OBS 0 1.0").unwrap().starts_with("OK"));
+    c.send("QUIT").unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn client_storm_is_shed_with_err_busy() {
+    let config = ServerConfig {
+        max_connections: 4,
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+    let addr = handle.addr();
+
+    // 16 clients connect at once and hold their connections open.
+    let clients: Vec<_> = (0..16)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let reply = c.send("HELLO 60").expect("hello");
+                if reply.starts_with("OK") {
+                    // Hold the slot briefly so the storm actually overlaps.
+                    std::thread::sleep(Duration::from_millis(300));
+                    c.send("QUIT").expect("quit");
+                    true
+                } else {
+                    assert_eq!(reply, "ERR busy", "unexpected shed response");
+                    false
+                }
+            })
+        })
+        .collect();
+    let served = clients
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .filter(|&ok| ok)
+        .count();
+
+    // Load shedding means *some* were turned away — but never silently,
+    // and the ones admitted were served correctly.
+    assert!(served >= 1, "nobody was served during the storm");
+    assert!(
+        served < 16,
+        "the cap admitted everyone; shedding never engaged"
+    );
+
+    // After the storm: business as usual.
+    let mut c = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reply = c.send("HELLO 60").expect("hello");
+        if reply.starts_with("OK") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never recovered: {reply}");
+        std::thread::sleep(Duration::from_millis(20));
+        c = Client::connect(addr).expect("reconnect");
+    }
+    c.send("QUIT").unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The tentpole guarantee: a durable session that is killed (client crash,
+/// handler panic, even a full server restart) and then `RESUME`d produces
+/// verdicts *identical* to a session that was never interrupted.
+#[test]
+fn killed_and_resumed_session_scores_identically() {
+    let state_dir = scratch();
+    let config = ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        snapshot_every: 64,
+        enable_panic_verb: true,
+        ..test_config()
+    };
+    let (handle, join) = start_server(config.clone());
+
+    // Three weeks of history, labels, one retrain, then a held-out week.
+    let (history, flags) = kpi_stream(21 * 24);
+    let (full, _) = kpi_stream(22 * 24);
+    let mut held_out: Vec<String> = full[21 * 24..].to_vec();
+    // The spike schedule misses this window, so probe explicitly: one
+    // obvious anomaly and one normal point close the held-out stream.
+    held_out.push(format!("OBS {} 400.0", 22 * 24 * 3600));
+    held_out.push(format!("OBS {} 100.0", (22 * 24 + 1) * 3600));
+    let held_out = &held_out[..];
+
+    // Control: one uninterrupted (ephemeral) session sees everything.
+    let mut control = Client::connect(handle.addr()).expect("connect");
+    assert!(control.send("HELLO 3600").unwrap().starts_with("OK"));
+    send_all(&mut control, &history);
+    assert!(control
+        .send(&format!("LABEL {flags}"))
+        .unwrap()
+        .starts_with("OK"));
+    assert!(control.send("RETRAIN").unwrap().starts_with("OK trained"));
+    let control_verdicts = send_all(&mut control, held_out);
+    control.send("QUIT").unwrap();
+
+    // Victim: a durable session repeatedly interrupted at awkward points.
+    let mut victim = Client::connect(handle.addr()).expect("connect");
+    assert!(victim.send("HELLO 3600 victim").unwrap().starts_with("OK"));
+    send_all(&mut victim, &history[..200]);
+    victim.kill(); // client crash mid-history, no QUIT
+
+    let mut victim = resume(handle.addr(), "victim");
+    send_all(&mut victim, &history[200..]);
+    assert!(victim
+        .send(&format!("LABEL {flags}"))
+        .unwrap()
+        .starts_with("OK"));
+    assert!(victim.send("RETRAIN").unwrap().starts_with("OK trained"));
+    // A handler panic poisons the session: no final snapshot is taken, so
+    // the next resume must recover from the WAL alone past the last
+    // periodic snapshot.
+    assert_eq!(victim.send("PANIC").unwrap(), "ERR internal error");
+    assert_eq!(victim.read_line().unwrap(), ""); // and the connection died
+
+    let mut victim = resume(handle.addr(), "victim");
+    let first_half = send_all(&mut victim, &held_out[..12]);
+    victim.kill();
+
+    // Full server restart on the same state directory.
+    handle.shutdown();
+    join.join().unwrap();
+    let (handle, join) = start_server(config);
+
+    let mut victim = resume(handle.addr(), "victim");
+    let second_half = send_all(&mut victim, &held_out[12..]);
+    victim.send("QUIT").unwrap();
+
+    // Probability, cThld and verdict — byte-identical for every point.
+    let victim_verdicts: Vec<String> = first_half.into_iter().chain(second_half).collect();
+    assert_eq!(victim_verdicts, control_verdicts);
+    // Sanity: the comparison is about real detections, not all "pending".
+    assert!(
+        victim_verdicts.iter().any(|v| v.contains("anomaly=1")),
+        "no spike ever alerted"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(state_dir).unwrap();
+}
+
+#[test]
+fn panic_takes_down_one_connection_not_the_server() {
+    let config = ServerConfig {
+        enable_panic_verb: true,
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+
+    let mut bystander = Client::connect(handle.addr()).expect("connect");
+    assert!(bystander.send("HELLO 60").unwrap().starts_with("OK"));
+    assert!(bystander.send("OBS 0 1.0").unwrap().starts_with("OK"));
+
+    let mut crasher = Client::connect(handle.addr()).expect("connect");
+    assert!(crasher.send("HELLO 60").unwrap().starts_with("OK"));
+    assert_eq!(crasher.send("PANIC").unwrap(), "ERR internal error");
+    assert_eq!(crasher.read_line().unwrap(), ""); // crasher is disconnected
+
+    // The bystander's session kept its state; new clients are welcome.
+    assert_eq!(
+        bystander.send("STATUS").unwrap(),
+        "OK observed=1 labeled=0 trained=0 cthld=0.500"
+    );
+    let mut fresh = Client::connect(handle.addr()).expect("connect");
+    assert!(fresh.send("HELLO 60").unwrap().starts_with("OK"));
+    fresh.send("QUIT").unwrap();
+    bystander.send("QUIT").unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn hung_clients_do_not_block_graceful_shutdown() {
+    let config = ServerConfig {
+        read_tick: Duration::from_millis(20),
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+    let inject = FaultInjector::new(handle.addr());
+
+    // Several clients connect and go completely silent — one of them with
+    // a half-written command in flight.
+    let _stalled: Vec<_> = (0..3)
+        .map(|_| inject.connect_and_stall().unwrap())
+        .collect();
+    let mut half = Client::connect(handle.addr()).expect("connect");
+    half.write_raw(b"OBS 12 4").unwrap(); // no newline, never completed
+
+    // Shutdown must drain them within the read tick, not wait for the
+    // idle timeout (300 s by default) or for the clients to hang up.
+    let started = Instant::now();
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "hung clients blocked shutdown for {:?}",
+        started.elapsed()
+    );
+}

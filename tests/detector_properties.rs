@@ -7,12 +7,12 @@ use proptest::prelude::*;
 /// Builds a short hourly series from proptest-chosen parameters.
 fn series_strategy() -> impl Strategy<Value = Vec<Option<f64>>> {
     (
-        50.0f64..5000.0,             // base level
-        0.0f64..0.9,                 // seasonal amplitude
-        0.0f64..0.3,                 // noise scale (deterministic pseudo-noise)
-        0.0f64..0.2,                 // missing ratio
-        any::<u64>(),                // seed
-        (24usize * 4)..(24 * 8),     // length: 4..8 days hourly
+        50.0f64..5000.0,         // base level
+        0.0f64..0.9,             // seasonal amplitude
+        0.0f64..0.3,             // noise scale (deterministic pseudo-noise)
+        0.0f64..0.2,             // missing ratio
+        any::<u64>(),            // seed
+        (24usize * 4)..(24 * 8), // length: 4..8 days hourly
     )
         .prop_map(|(base, amp, noise, missing, seed, len)| {
             let mut state = seed | 1;
@@ -82,8 +82,16 @@ fn detectors_are_causal() {
         let mut reg = registry(3600);
         let mut out = Vec::new();
         for i in 0..200i64 {
-            let v = if i == 199 { tail } else { 100.0 + (i % 24) as f64 };
-            out.push(reg.iter_mut().map(|c| c.detector.observe(i * 3600, Some(v))).collect());
+            let v = if i == 199 {
+                tail
+            } else {
+                100.0 + (i % 24) as f64
+            };
+            out.push(
+                reg.iter_mut()
+                    .map(|c| c.detector.observe(i * 3600, Some(v)))
+                    .collect(),
+            );
         }
         out
     };

@@ -12,6 +12,12 @@ use opprentice_repro::opprentice::strategy::{EvalPlan, TrainingStrategy};
 use opprentice_repro::opprentice::{extract_features, Opprentice, OpprenticeConfig};
 
 /// A small but realistic hourly KPI: 12 weeks, strong daily pattern.
+///
+/// The seed pins one concrete realization of the generator stream, so it is
+/// coupled to the RNG implementation (see `third_party/rand`). If the RNG
+/// ever changes, re-pick a seed whose realization clears the statistical
+/// thresholds below — they encode "a typical KPI is learnable", not a
+/// property of this particular seed.
 fn small_kpi() -> KpiSpec {
     KpiSpec {
         name: "it".into(),
@@ -31,12 +37,16 @@ fn small_kpi() -> KpiSpec {
         mean_anomaly_len: 5.0,
         extreme_label_quantile: None,
         missing_ratio: 0.003,
-        seed: 0xE2E,
+        seed: 0xE2E4,
     }
 }
 
 fn forest_params() -> RandomForestParams {
-    RandomForestParams { n_trees: 20, seed: 9, ..Default::default() }
+    RandomForestParams {
+        n_trees: 20,
+        seed: 9,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -88,7 +98,10 @@ fn walk_forward_evaluator_improves_over_uninformative_baseline() {
             );
         }
     }
-    assert!(informative >= 2, "test data degenerate: {informative} informative weeks");
+    assert!(
+        informative >= 2,
+        "test data degenerate: {informative} informative weeks"
+    );
 }
 
 #[test]
@@ -100,7 +113,10 @@ fn best_cthld_operating_point_honors_the_preference_when_reachable() {
     ev.forest_params = forest_params();
     let outcomes = ev.run(TrainingStrategy::AllHistory, EvalPlan::weekly());
 
-    let pref = Preference { recall: 0.4, precision: 0.4 }; // generous box
+    let pref = Preference {
+        recall: 0.4,
+        precision: 0.4,
+    }; // generous box
     let mut satisfied = 0usize;
     let mut evaluable = 0usize;
     for o in &outcomes {
@@ -118,8 +134,14 @@ fn best_cthld_operating_point_honors_the_preference_when_reachable() {
             satisfied += 1;
         }
     }
-    assert!(evaluable >= 2, "test data degenerate: {evaluable} evaluable weeks");
-    assert!(satisfied * 2 >= evaluable, "only {satisfied}/{evaluable} weeks satisfied a generous box");
+    assert!(
+        evaluable >= 2,
+        "test data degenerate: {evaluable} evaluable weeks"
+    );
+    assert!(
+        satisfied * 2 >= evaluable,
+        "only {satisfied}/{evaluable} weeks satisfied a generous box"
+    );
 }
 
 #[test]
@@ -131,9 +153,13 @@ fn full_pipeline_object_detects_new_anomalies_after_retraining() {
 
     let mut opp = Opprentice::new(
         kpi.series.interval(),
-        OpprenticeConfig { forest: forest_params(), ..Default::default() },
+        OpprenticeConfig {
+            forest: forest_params(),
+            ..Default::default()
+        },
     );
-    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut));
+    opp.ingest_history(&kpi.series.slice(0..cut), &session.labels.slice(0..cut))
+        .expect("fresh pipeline accepts history");
     assert!(opp.retrain());
 
     // Stream the rest; collect verdicts and compare against the operator.
@@ -180,7 +206,10 @@ fn operator_noise_degrades_but_does_not_break_learning() {
     let noisy_labels = SimulatedOperator::default().label(&kpi).labels;
     let noisy = auc_with(&noisy_labels);
     assert!(clean > 0.5, "clean-label AUCPR {clean}");
-    assert!(noisy > clean * 0.7, "noise destroyed learning: {noisy} vs {clean}");
+    assert!(
+        noisy > clean * 0.7,
+        "noise destroyed learning: {noisy} vs {clean}"
+    );
 }
 
 #[test]

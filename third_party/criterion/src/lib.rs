@@ -1,0 +1,156 @@
+//! Hermetic stand-in for `criterion` (0.5 API subset).
+//!
+//! A deliberately small wall-clock benchmark runner: it warms up, runs a
+//! fixed number of timed samples, and prints mean/min per-iteration times.
+//! No statistics engine, no HTML reports — just enough to keep
+//! `cargo bench` meaningful in an offline container. The real crate slots
+//! back in by dropping the `[patch.crates-io]` entry.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` sizes its batches. The stub runs one routine call per
+/// batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Drives the timed routine of one benchmark.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.results.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (report-flush point in the real crate; no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut results = Vec::new();
+        let samples = self.sample_size;
+        f(&mut Bencher { samples, results: &mut results });
+        if results.is_empty() {
+            println!("{id:<44} no samples");
+            return;
+        }
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let min = results.iter().min().copied().unwrap_or_default();
+        println!("{id:<44} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)", results.len());
+    }
+
+    /// Compatibility shim for `criterion_group!`'s configuration hook.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export matching the real crate's signature.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,648 @@
+//! Hermetic stand-in for `proptest` (1.x API subset).
+//!
+//! A miniature property-testing engine covering exactly what this
+//! workspace's `proptests.rs` files use: the `proptest!` macro (with
+//! optional `#![proptest_config]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, range and tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, `prop::option::of`,
+//! `Just`, `.prop_map` and `.prop_filter`.
+//!
+//! Differences from the real crate, by design: no shrinking (a failing
+//! case reports its assertion message and the deterministic seed instead of
+//! a minimized input), and case generation is seeded from the test name, so
+//! every run of a given test explores the same sequence.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator. `Err(Reject)` means "this draw was filtered out —
+    //  try again"; the runner bounds total rejections.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    /// A rejected draw (from `prop_filter`), with the filter's description.
+    #[derive(Debug, Clone)]
+    pub struct Reject(pub &'static str);
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<O, Reject> {
+            self.inner.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+            let v = self.inner.new_value(rng)?;
+            if (self.pred)(&v) {
+                Ok(v)
+            } else {
+                Err(Reject(self.whence))
+            }
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+            Ok(self.0.clone())
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        (float: $($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.unit_f64() as $t;
+                    let v = self.start + u * (self.end - self.start);
+                    Ok(if v < self.end { v } else { self.start })
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    Ok(lo + (rng.unit_f64() as $t) * (hi - lo))
+                }
+            }
+        )*};
+        (int: $($t:ty => $wide:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    Ok((self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return Ok(rng.next_u64() as $t);
+                    }
+                    Ok((lo as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(float: f32, f64);
+    impl_range_strategy!(
+        int: u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.new_value(rng)?,)+))
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy of a type.
+
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: core::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.new_value(rng)?);
+            }
+            Ok(out)
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit choices.
+
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            Ok(self.choices[i].clone())
+        }
+    }
+
+    /// Picks uniformly from a non-empty list of choices.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from empty choices");
+        Select { choices }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+            // Match the real crate's default: Some three times out of four.
+            if rng.below(4) == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(self.inner.new_value(rng)?))
+            }
+        }
+    }
+
+    /// `Some` of the inner strategy most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test runner: config, RNG, and case errors.
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Maximum filtered-out draws before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+        /// The case asked to be discarded.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A discard with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The runner's deterministic RNG (xoshiro256++, seeded from the test
+    /// name so each test replays the same cases every run).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator seeded deterministically from the test's name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut x = h;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __rejects: u32 = 0;
+                let mut __case: u32 = 0;
+                while __case < __config.cases {
+                    match ( $( $crate::strategy::Strategy::new_value(&($strat), &mut __rng) ),+ , ) {
+                        ( $( ::core::result::Result::Ok($arg) ),+ , ) => {
+                            let __result: $crate::test_runner::TestCaseResult =
+                                (move || {
+                                    $body
+                                    ::core::result::Result::Ok(())
+                                })();
+                            if let ::core::result::Result::Err(e) = __result {
+                                panic!(
+                                    "proptest `{}` falsified at case {}: {}",
+                                    stringify!($name), __case, e
+                                );
+                            }
+                            __case += 1;
+                        }
+                        _ => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= __config.max_global_rejects,
+                                "proptest `{}`: too many filtered draws ({})",
+                                stringify!($name), __rejects
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..1000).prop_filter("even only", |v| v % 2 == 0)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..1.0, n in 5u32..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((5..10).contains(&n));
+        }
+
+        #[test]
+        fn filters_apply(x in evens()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn maps_apply(v in prop::collection::vec(1u32..5, 3..6).prop_map(|v| v.len())) {
+            prop_assert!((3..6).contains(&v));
+        }
+
+        #[test]
+        fn select_and_option(
+            interval in prop::sample::select(vec![60u32, 300, 3600]),
+            maybe in prop::option::of(0i64..10),
+        ) {
+            prop_assert!([60, 300, 3600].contains(&interval));
+            if let Some(v) = maybe {
+                prop_assert!((0..10).contains(&v));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(_x in any::<bool>()) {
+            // Runs exactly 7 cases; nothing to assert beyond not hanging.
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("falsified"), "{msg}");
+    }
+}

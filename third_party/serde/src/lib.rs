@@ -1,0 +1,17 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few data types for
+//! downstream consumers but ships no serialization format, so marker traits
+//! are all the build needs. The real crate slots back in without source
+//! changes once network access exists (drop the `[patch.crates-io]` entry).
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that would be serializable with the real `serde`.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real `serde`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

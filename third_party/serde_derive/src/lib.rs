@@ -1,0 +1,55 @@
+//! Hermetic stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on a few plain data
+//! types but never actually serializes them (no format crate is present),
+//! so the derives only need to mint the marker impls. Generic types fall
+//! back to emitting nothing — no workspace type deriving serde is generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name following `struct`/`enum` and reports whether a
+/// generic parameter list follows it.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        _ => TokenStream::new(),
+    }
+}
