@@ -1,0 +1,466 @@
+//! The serving-path throughput benchmark (see DESIGN.md, "Fast serving").
+//!
+//! Two layers are measured:
+//!
+//! 1. **In-process microbenches** — online feature extraction (133
+//!    detectors per point) and forest inference three ways: the tree-walk
+//!    path (`RandomForest::predict_proba`, the *before*), the compiled
+//!    flat-layout path (`CompiledForest::predict`, the *after*), and the
+//!    batched compiled path (`predict_batch`).
+//! 2. **The real TCP server** — a trained session fed one point per
+//!    round-trip versus one day per round-trip (`OBSB`), single-session
+//!    and N concurrent sessions, with points/sec and p50/p99 round-trip
+//!    latency. The *before* is the pre-batching stack: a naive agent
+//!    (no `TCP_NODELAY`, as every client was before this change) sending
+//!    one `OBS` per point, whose small writes interact with Nagle and
+//!    delayed ACKs. The improved single-point path (`OBS` over a nodelay
+//!    connection) is reported separately so each layer's contribution —
+//!    socket options, coalesced writes, batching — is visible.
+//!
+//! Results land in `results/BENCH_serving.json`. Modes: `--tiny` (CI
+//! smoke, seconds), default (laptop-sized), `--full` (paper-sized forest
+//! everywhere).
+//!
+//! Run with: `cargo run --release -p opprentice-bench --bin serving_bench`
+
+use opprentice::features::OnlineExtractor;
+use opprentice_learn::{Classifier, Dataset, RandomForest, RandomForestParams};
+use opprentice_server::testing::Client;
+use opprentice_server::{Server, ServerConfig};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Benchmark sizes, scaled by mode.
+struct Sizes {
+    mode: &'static str,
+    /// Microbench forest size (60 = the paper-sized serving forest).
+    micro_trees: usize,
+    /// Microbench training rows.
+    micro_rows: usize,
+    /// Microbench prediction repetitions.
+    micro_preds: usize,
+    /// Extraction microbench points.
+    extract_points: usize,
+    /// Server-session forest size.
+    server_trees: usize,
+    /// Hours of labeled history streamed before RETRAIN.
+    train_hours: usize,
+    /// Points measured per protocol variant.
+    measure_points: usize,
+    /// Points for the legacy (Nagle-stalled) baseline — ~40 ms each, so
+    /// this sample stays small.
+    legacy_points: usize,
+    /// Points per OBSB line.
+    batch: usize,
+    /// Concurrent sessions in the fan-out measurement.
+    sessions: usize,
+}
+
+impl Sizes {
+    fn from_args() -> Sizes {
+        let tiny = std::env::args().any(|a| a == "--tiny");
+        let full = std::env::args().any(|a| a == "--full");
+        if tiny {
+            Sizes {
+                mode: "tiny",
+                micro_trees: 60,
+                micro_rows: 150,
+                micro_preds: 400,
+                extract_points: 200,
+                server_trees: 8,
+                train_hours: 10 * 24,
+                measure_points: 96,
+                legacy_points: 24,
+                batch: 24,
+                sessions: 2,
+            }
+        } else if full {
+            Sizes {
+                mode: "full",
+                micro_trees: 60,
+                micro_rows: 4800,
+                micro_preds: 30_000,
+                extract_points: 8000,
+                server_trees: 60,
+                train_hours: 21 * 24,
+                measure_points: 2400,
+                legacy_points: 150,
+                batch: 96,
+                sessions: 4,
+            }
+        } else {
+            Sizes {
+                mode: "default",
+                micro_trees: 60,
+                micro_rows: 2400,
+                micro_preds: 10_000,
+                extract_points: 2000,
+                server_trees: 20,
+                train_hours: 21 * 24,
+                measure_points: 960,
+                legacy_points: 100,
+                batch: 48,
+                sessions: 4,
+            }
+        }
+    }
+}
+
+/// The daily-patterned KPI value used everywhere in the serving tests.
+fn kpi_value(i: usize) -> (f64, bool) {
+    let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+    let anomalous = i % 63 == 50 || i % 63 == 51;
+    (if anomalous { base + 150.0 } else { base }, anomalous)
+}
+
+/// A seeded synthetic dataset shaped like the real feature matrix
+/// (133 severity columns, sparse positives).
+fn synthetic_dataset(rows: usize, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*: dependency-free, deterministic.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut d = Dataset::new(133);
+    let mut row = vec![0.0f64; 133];
+    for i in 0..rows {
+        let anomalous = i % 17 == 0;
+        for v in row.iter_mut() {
+            let sev = next() * 2.0;
+            *v = if anomalous { sev + next() * 3.0 } else { sev };
+        }
+        d.push(&row, anomalous);
+    }
+    d
+}
+
+struct Quantiles {
+    p50: f64,
+    p99: f64,
+}
+
+/// p50/p99 of a latency sample, in microseconds.
+fn quantiles_us(samples: &mut [Duration]) -> Quantiles {
+    samples.sort_unstable();
+    let at = |q: f64| {
+        let idx = ((samples.len() - 1) as f64 * q) as usize;
+        samples[idx].as_secs_f64() * 1e6
+    };
+    Quantiles {
+        p50: at(0.50),
+        p99: at(0.99),
+    }
+}
+
+struct ProtocolRun {
+    points_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Connects, trains a session on labeled history, leaving it ready to
+/// serve verdicts from the compiled forest.
+fn trained_client(addr: std::net::SocketAddr, sizes: &Sizes, nodelay: bool) -> Client {
+    let mut c = if nodelay {
+        Client::connect(addr).expect("connect")
+    } else {
+        Client::connect_plain(addr).expect("connect")
+    };
+    assert!(c.send("HELLO 3600").unwrap().starts_with("OK"));
+    let mut flags = String::with_capacity(sizes.train_hours);
+    // History is itself streamed in batches — training setup is not what
+    // this benchmark measures.
+    for chunk in (0..sizes.train_hours).collect::<Vec<_>>().chunks(24) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                let (v, anomalous) = kpi_value(i);
+                flags.push(if anomalous { '1' } else { '0' });
+                format!("{v}")
+            })
+            .collect();
+        let line = format!("OBSB {} {}", chunk[0] * 3600, values.join(" "));
+        assert!(c.send(&line).unwrap().starts_with("OK"));
+    }
+    assert!(c.send(&format!("LABEL {flags}")).unwrap().starts_with("OK"));
+    assert!(c.send("RETRAIN").unwrap().starts_with("OK trained"));
+    c
+}
+
+/// Measures single-point round-trips (`OBS`): the pre-batching serving
+/// path, one write + one read per point.
+fn run_obs(c: &mut Client, start_hour: usize, n: usize) -> ProtocolRun {
+    let mut lat = Vec::with_capacity(n);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let (v, _) = kpi_value(start_hour + i);
+        let line = format!("OBS {} {v}", (start_hour + i) * 3600);
+        let sent = Instant::now();
+        let reply = c.send(&line).expect("obs");
+        lat.push(sent.elapsed());
+        assert!(reply.starts_with("OK"), "{reply}");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let q = quantiles_us(&mut lat);
+    ProtocolRun {
+        points_per_sec: n as f64 / elapsed,
+        p50_us: q.p50,
+        p99_us: q.p99,
+    }
+}
+
+/// Measures batched round-trips (`OBSB`): one write + one read per
+/// `batch` points. Latency quantiles are per batch line.
+fn run_obsb(c: &mut Client, start_hour: usize, n: usize, batch: usize) -> ProtocolRun {
+    let mut lat = Vec::with_capacity(n / batch + 1);
+    let t0 = Instant::now();
+    let mut i = 0;
+    while i < n {
+        let take = batch.min(n - i);
+        let values: Vec<String> = (0..take)
+            .map(|k| format!("{}", kpi_value(start_hour + i + k).0))
+            .collect();
+        let line = format!("OBSB {} {}", (start_hour + i) * 3600, values.join(" "));
+        let sent = Instant::now();
+        let reply = c.send(&line).expect("obsb");
+        lat.push(sent.elapsed());
+        assert!(reply.starts_with("OK"), "{reply}");
+        assert_eq!(
+            reply.split('|').count(),
+            take,
+            "batch reply carries one verdict per point"
+        );
+        i += take;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let q = quantiles_us(&mut lat);
+    ProtocolRun {
+        points_per_sec: n as f64 / elapsed,
+        p50_us: q.p50,
+        p99_us: q.p99,
+    }
+}
+
+fn main() {
+    let sizes = Sizes::from_args();
+    eprintln!("[serving_bench] mode={}", sizes.mode);
+
+    // ---- Microbench 1: online feature extraction ------------------------
+    let mut extractor = OnlineExtractor::new(3600);
+    let t0 = Instant::now();
+    for i in 0..sizes.extract_points {
+        let (v, _) = kpi_value(i);
+        let row = extractor.observe(i as i64 * 3600, Some(v));
+        std::hint::black_box(row);
+    }
+    let extract_pps = sizes.extract_points as f64 / t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[extract] {extract_pps:.0} points/sec ({} detectors)",
+        extractor.labels().len()
+    );
+
+    // ---- Microbench 2: tree-walk vs compiled inference ------------------
+    let data = synthetic_dataset(sizes.micro_rows, 0xC0FFEE);
+    let mut forest = RandomForest::new(RandomForestParams {
+        n_trees: sizes.micro_trees,
+        seed: 42,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    forest.fit(&data);
+    eprintln!(
+        "[fit] {} trees on {} rows x 133 features in {:.1?}",
+        sizes.micro_trees,
+        sizes.micro_rows,
+        t0.elapsed()
+    );
+    let compiled = forest.compile();
+    let probes: Vec<Vec<f64>> = (0..512)
+        .map(|i| data.row(i % data.len()).to_vec())
+        .collect();
+
+    let t0 = Instant::now();
+    for i in 0..sizes.micro_preds {
+        std::hint::black_box(forest.predict_proba(&probes[i % probes.len()]));
+    }
+    let walk_ns = t0.elapsed().as_nanos() as f64 / sizes.micro_preds as f64;
+
+    let t0 = Instant::now();
+    for i in 0..sizes.micro_preds {
+        std::hint::black_box(compiled.predict(&probes[i % probes.len()]));
+    }
+    let compiled_ns = t0.elapsed().as_nanos() as f64 / sizes.micro_preds as f64;
+
+    let batch_rounds = (sizes.micro_preds / probes.len()).max(1);
+    let t0 = Instant::now();
+    for _ in 0..batch_rounds {
+        std::hint::black_box(compiled.predict_batch(&probes));
+    }
+    let batch_ns = t0.elapsed().as_nanos() as f64 / (batch_rounds * probes.len()) as f64;
+
+    eprintln!(
+        "[inference] walk {walk_ns:.0} ns/pred, compiled {compiled_ns:.0} ns/pred \
+         ({:.2}x), batch {batch_ns:.0} ns/pred ({:.2}x)",
+        walk_ns / compiled_ns,
+        walk_ns / batch_ns
+    );
+
+    // ---- TCP server: single session, OBS vs OBSB ------------------------
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            n_trees: sizes.server_trees,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // The pre-batching baseline: a naive agent, one OBS per round-trip,
+    // no TCP_NODELAY — exactly how every client drove the server before
+    // this change. Nagle + delayed ACK stall each point ~40 ms, so the
+    // sample is deliberately small.
+    let mut legacy = trained_client(handle.addr(), &sizes, false);
+    let obs_legacy = run_obs(&mut legacy, sizes.train_hours, sizes.legacy_points);
+    legacy.send("QUIT").unwrap();
+    eprintln!(
+        "[single] legacy OBS baseline {:.0} pts/s (p50 {:.0}us p99 {:.0}us)",
+        obs_legacy.points_per_sec, obs_legacy.p50_us, obs_legacy.p99_us
+    );
+
+    let mut c = trained_client(handle.addr(), &sizes, true);
+    let obs = run_obs(&mut c, sizes.train_hours, sizes.measure_points);
+    let obsb = run_obsb(
+        &mut c,
+        sizes.train_hours + sizes.measure_points,
+        sizes.measure_points,
+        sizes.batch,
+    );
+    c.send("QUIT").unwrap();
+    let speedup_baseline = obsb.points_per_sec / obs_legacy.points_per_sec;
+    let speedup_nodelay = obsb.points_per_sec / obs.points_per_sec;
+    eprintln!(
+        "[single] OBS+nodelay {:.0} pts/s (p50 {:.0}us p99 {:.0}us) | OBSB {:.0} pts/s \
+         (p50 {:.0}us p99 {:.0}us per batch of {}) | {speedup_baseline:.1}x vs baseline, \
+         {speedup_nodelay:.2}x vs OBS+nodelay",
+        obs.points_per_sec,
+        obs.p50_us,
+        obs.p99_us,
+        obsb.points_per_sec,
+        obsb.p50_us,
+        obsb.p99_us,
+        sizes.batch
+    );
+
+    // ---- TCP server: N concurrent untrained sessions streaming OBSB -----
+    // Extraction dominates the untrained path; this measures how the
+    // thread-per-connection transport scales on this host.
+    let addr = handle.addr();
+    let per_session = sizes.measure_points / sizes.sessions;
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..sizes.sessions)
+        .map(|_| {
+            let batch = sizes.batch;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                assert!(c.send("HELLO 3600").unwrap().starts_with("OK"));
+                let mut i = 0;
+                while i < per_session {
+                    let take = batch.min(per_session - i);
+                    let values: Vec<String> = (0..take)
+                        .map(|k| format!("{}", kpi_value(i + k).0))
+                        .collect();
+                    let line = format!("OBSB {} {}", i * 3600, values.join(" "));
+                    assert!(c.send(&line).unwrap().starts_with("OK"));
+                    i += take;
+                }
+                c.send("QUIT").unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let concurrent_pps = (per_session * sizes.sessions) as f64 / t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[concurrent] {} sessions, {concurrent_pps:.0} pts/s aggregate",
+        sizes.sessions
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+
+    // ---- Results --------------------------------------------------------
+    let json = format!(
+        r#"{{
+  "mode": "{mode}",
+  "inference_microbench": {{
+    "n_trees": {micro_trees},
+    "n_features": 133,
+    "before_tree_walk_ns_per_pred": {walk_ns:.1},
+    "after_compiled_ns_per_pred": {compiled_ns:.1},
+    "after_compiled_batch_ns_per_pred": {batch_ns:.1},
+    "speedup_compiled": {sp_c:.3},
+    "speedup_compiled_batch": {sp_b:.3}
+  }},
+  "extraction_microbench": {{
+    "points_per_sec": {extract_pps:.1}
+  }},
+  "serving_single_session": {{
+    "measure_points": {measure_points},
+    "before_obs_baseline": {{
+      "note": "pre-change stack: one OBS per round-trip from a naive agent without TCP_NODELAY",
+      "points": {legacy_points},
+      "points_per_sec": {leg_pps:.1},
+      "p50_roundtrip_us": {leg_p50:.1},
+      "p99_roundtrip_us": {leg_p99:.1}
+    }},
+    "obs_nodelay": {{
+      "note": "single-point path after the I/O fixes (coalesced replies, TCP_NODELAY), still one round-trip per point",
+      "points_per_sec": {obs_pps:.1},
+      "p50_roundtrip_us": {obs_p50:.1},
+      "p99_roundtrip_us": {obs_p99:.1}
+    }},
+    "after_obsb": {{
+      "batch": {batch},
+      "points_per_sec": {obsb_pps:.1},
+      "p50_roundtrip_us": {obsb_p50:.1},
+      "p99_roundtrip_us": {obsb_p99:.1}
+    }},
+    "speedup_obsb_over_obs_baseline": {speedup_baseline:.3},
+    "speedup_obsb_over_obs_nodelay": {speedup_nodelay:.3}
+  }},
+  "serving_concurrent": {{
+    "sessions": {sessions},
+    "points_per_sec": {concurrent_pps:.1}
+  }}
+}}
+"#,
+        mode = sizes.mode,
+        micro_trees = sizes.micro_trees,
+        sp_c = walk_ns / compiled_ns,
+        sp_b = walk_ns / batch_ns,
+        measure_points = sizes.measure_points,
+        legacy_points = sizes.legacy_points,
+        leg_pps = obs_legacy.points_per_sec,
+        leg_p50 = obs_legacy.p50_us,
+        leg_p99 = obs_legacy.p99_us,
+        obs_pps = obs.points_per_sec,
+        obs_p50 = obs.p50_us,
+        obs_p99 = obs.p99_us,
+        batch = sizes.batch,
+        obsb_pps = obsb.points_per_sec,
+        obsb_p50 = obsb.p50_us,
+        obsb_p99 = obsb.p99_us,
+        sessions = sizes.sessions,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_serving.json";
+    let mut f = std::fs::File::create(path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("[json] wrote {path}");
+}

@@ -129,9 +129,13 @@ impl FeatureMatrix {
                 if xs.is_empty() {
                     return 1.0;
                 }
-                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite severities"));
+                // Only the one order statistic is needed, so an O(n)
+                // selection beats sorting the whole column.
                 let idx = ((xs.len() - 1) as f64 * quantile) as usize;
-                let q = xs[idx];
+                let (_, q, _) = xs.select_nth_unstable_by(idx, |a, b| {
+                    a.partial_cmp(b).expect("finite severities")
+                });
+                let q = *q;
                 if q > 0.0 {
                     q
                 } else {

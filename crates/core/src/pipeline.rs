@@ -12,7 +12,7 @@ use crate::error::PipelineError;
 use crate::features::{FeatureMatrix, OnlineExtractor};
 use crate::predictor::{five_fold_cthld, EwmaCthldPredictor};
 use opprentice_learn::metrics::pr_curve;
-use opprentice_learn::{Classifier, RandomForest, RandomForestParams};
+use opprentice_learn::{Classifier, CompiledForest, RandomForest, RandomForestParams};
 use opprentice_timeseries::{Labels, TimeSeries};
 
 /// Configuration of an [`Opprentice`] instance.
@@ -58,7 +58,13 @@ pub struct Opprentice {
     matrix: FeatureMatrix,
     truth: Labels,
     forest: Option<RandomForest>,
+    /// The forest flattened for the serving hot path — rebuilt whenever
+    /// `forest` changes, bit-identical to it in every prediction.
+    compiled: Option<CompiledForest>,
     predictor: EwmaCthldPredictor,
+    /// Scratch row for online prediction (severities with `None` → 0.0),
+    /// reused across points so the hot path allocates nothing.
+    feat_buf: Vec<f64>,
 }
 
 impl Opprentice {
@@ -74,7 +80,9 @@ impl Opprentice {
             matrix,
             truth: Labels::all_normal(0),
             forest: None,
+            compiled: None,
             predictor,
+            feat_buf: Vec::new(),
         }
     }
 
@@ -120,6 +128,12 @@ impl Opprentice {
         self.forest.as_ref()
     }
 
+    /// The compiled (serving-path) forest, if trained — predictions from
+    /// it are bit-identical to [`Opprentice::forest`]'s tree walk.
+    pub fn compiled_forest(&self) -> Option<&CompiledForest> {
+        self.compiled.as_ref()
+    }
+
     /// The raw EWMA prediction state (`None` before initialization) —
     /// exposed for snapshotting; [`Opprentice::current_cthld`] is the
     /// operational view.
@@ -133,6 +147,7 @@ impl Opprentice {
     /// write-ahead log, which is what keeps restored sessions scoring
     /// identically to uninterrupted ones.
     pub fn restore_trained_state(&mut self, forest: Option<RandomForest>, prediction: Option<f64>) {
+        self.compiled = forest.as_ref().map(RandomForest::compile);
         self.forest = forest;
         match prediction {
             Some(c) => self.predictor.initialize(c),
@@ -181,13 +196,18 @@ impl Opprentice {
 
     /// Feeds one incoming point; returns the verdict (or `None` when no
     /// classifier is trained yet or the point is missing).
+    ///
+    /// This is the serving hot path: the severity row goes straight into
+    /// the matrix and a reused scratch buffer (no per-point allocation),
+    /// and the prediction comes from the compiled forest.
     pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> Option<Detection> {
-        let row = self.extractor.observe(timestamp, value).to_vec();
-        self.matrix.push_row(&row, value.is_some());
+        let row = self.extractor.observe(timestamp, value);
+        self.matrix.push_row(row, value.is_some());
+        self.feat_buf.clear();
+        self.feat_buf.extend(row.iter().map(|s| s.unwrap_or(0.0)));
         value?;
-        let forest = self.forest.as_ref()?;
-        let features: Vec<f64> = row.iter().map(|s| s.unwrap_or(0.0)).collect();
-        let probability = forest.predict_proba(&features);
+        let compiled = self.compiled.as_ref()?;
+        let probability = compiled.predict(&self.feat_buf);
         let cthld = self.current_cthld();
         Some(Detection {
             probability,
@@ -260,6 +280,9 @@ impl Opprentice {
             let c = five_fold_cthld(&ds, &self.config.preference, &self.config.forest);
             self.predictor.initialize(c);
         }
+        // Compile once per retrain; every online prediction until the next
+        // round is served from the flattened arena.
+        self.compiled = Some(forest.compile());
         self.forest = Some(forest);
         true
     }

@@ -16,14 +16,14 @@
 //! prediction u8 | [f64]
 //! n_observed u64 | wal_seq u64
 //! n_labels u64 | ceil(n_labels/8) bytes, LSB-first
-//! forest u8 | [len u32 | OPRF v1 bytes]
+//! forest u8 | [len u32 | OPRF forest bytes]
 //! ```
 //!
 //! All integers little-endian. Decoding validates the magic, version, every
 //! length against the bytes actually present (so hostile counts cannot
-//! drive huge allocations), and rejects trailing bytes. The v1 decoder in
-//! `opprentice-learn` naturally rejects v2 containers via its version
-//! check, and vice versa.
+//! drive huge allocations), and rejects trailing bytes. The forest decoder
+//! in `opprentice-learn` (currently OPRF v3) naturally rejects v2
+//! containers via its version check, and vice versa.
 //!
 //! Deliberately *not* captured: the detectors' sliding-window state and the
 //! feature matrix. Those are rebuilt by replaying the session's write-ahead
@@ -54,7 +54,7 @@ pub enum SnapshotError {
     TrailingBytes(usize),
     /// A field held a value outside its legal domain.
     BadField(&'static str),
-    /// The nested OPRF v1 forest failed to decode.
+    /// The nested OPRF forest failed to decode.
     Forest(PersistError),
     /// The snapshot disagrees with the session state it was installed into
     /// (the replayed WAL prefix diverged from what was snapshotted).
@@ -106,7 +106,7 @@ pub struct SessionSnapshot {
     pub wal_seq: u64,
     /// Operator labels at snapshot time.
     pub labels: Labels,
-    /// The trained forest, as OPRF v1 bytes (`None` if untrained).
+    /// The trained forest, as OPRF forest bytes (`None` if untrained).
     pub forest: Option<Vec<u8>>,
 }
 
@@ -494,12 +494,14 @@ mod tests {
     }
 
     #[test]
-    fn v1_forest_bytes_are_rejected_as_session_snapshots() {
+    fn forest_bytes_are_rejected_as_session_snapshots() {
+        // Forest files (OPRF v3) and session containers (OPRF v2) share
+        // the magic; the version field keeps them mutually rejecting.
         let opp = trained_pipeline();
-        let v1 = opp.forest().unwrap().to_bytes();
+        let forest_bytes = opp.forest().unwrap().to_bytes();
         assert_eq!(
-            SessionSnapshot::from_bytes(&v1),
-            Err(SnapshotError::UnsupportedVersion(1))
+            SessionSnapshot::from_bytes(&forest_bytes),
+            Err(SnapshotError::UnsupportedVersion(3))
         );
     }
 

@@ -101,12 +101,16 @@ impl RandomForest {
         &self.trees
     }
 
-    /// Assembles a forest from already-built trees (persistence restore).
-    pub(crate) fn from_trees(trees: Vec<DecisionTree>) -> Self {
-        Self {
-            params: RandomForestParams::default(),
-            trees,
-        }
+    /// The hyperparameters this forest was created with.
+    pub fn params(&self) -> &RandomForestParams {
+        &self.params
+    }
+
+    /// Assembles a forest from already-built trees and the hyperparameters
+    /// they were trained with (persistence restore). Keeping the real
+    /// params means a restored forest refits exactly like the original.
+    pub(crate) fn from_trees(params: RandomForestParams, trees: Vec<DecisionTree>) -> Self {
+        Self { params, trees }
     }
 }
 

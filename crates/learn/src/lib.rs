@@ -9,6 +9,9 @@
 //! * [`forest`] — Breiman random forests: bootstrap aggregation over fully
 //!   grown randomized trees, anomaly probability = vote fraction — the
 //!   algorithm Opprentice actually uses,
+//! * [`compiled`] — trained forests flattened into a contiguous,
+//!   cache-friendly node arena for fast (bit-identical) serving-path
+//!   inference,
 //! * [`baselines`] — the §5.3.2 comparison algorithms: decision tree,
 //!   Gaussian naive Bayes, logistic regression and linear SVM, all behind
 //!   one [`Classifier`] trait,
@@ -24,6 +27,7 @@
 
 pub mod baselines;
 mod binned;
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod feature_select;
@@ -32,6 +36,7 @@ pub mod metrics;
 pub mod persist;
 pub mod tree;
 
+pub use compiled::CompiledForest;
 pub use dataset::Dataset;
 pub use forest::{RandomForest, RandomForestParams};
 pub use metrics::{auc_pr, pr_curve, PrPoint};

@@ -7,21 +7,29 @@
 //! weights):
 //!
 //! ```text
-//! magic "OPRF" | version u16 | n_trees u32
+//! magic "OPRF" | version u16 = 3
+//! params:    n_trees u32 | sample_fraction f64 | seed u64
+//!            opt u8 (bit0 max_features, bit1 max_depth, bit2 n_bins) | [u32 each]
+//! tree_count u32
 //! per tree:  n_nodes u32
 //! per node:  tag u8 — 0 = leaf { prob f64 }
 //!                     1 = split { feature u32, threshold f64, left u32, right u32 }
 //! ```
 //!
 //! All integers are little-endian. Loading validates the magic, version,
-//! tags and node links.
+//! params, tags and node links. Version history: v1 persisted only the
+//! trees (restores silently got default hyperparameters); v2 is the
+//! session-snapshot container in `opprentice-core`, which shares the
+//! `OPRF` magic — forest files skip it so the two decoders reject each
+//! other's bytes with a clear version error; v3 adds the hyperparameter
+//! block so a restored forest refits exactly like the original.
 
-use crate::forest::RandomForest;
+use crate::forest::{RandomForest, RandomForestParams};
 use crate::tree::{from_nodes, DecisionTree, Node, TreeParams};
 use bytes::{Buf, BufMut};
 
 const MAGIC: &[u8; 4] = b"OPRF";
-const VERSION: u16 = 1;
+const VERSION: u16 = 3;
 
 /// Errors produced when decoding a persisted model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +48,8 @@ pub enum PersistError {
     EmptyTree,
     /// Bytes remained after the last tree.
     TrailingBytes(usize),
+    /// A hyperparameter field held a value outside its legal domain.
+    BadParam(&'static str),
 }
 
 impl std::fmt::Display for PersistError {
@@ -52,11 +62,61 @@ impl std::fmt::Display for PersistError {
             PersistError::BadLink(i) => write!(f, "node link {i} out of range"),
             PersistError::EmptyTree => write!(f, "tree with no nodes"),
             PersistError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last tree"),
+            PersistError::BadParam(name) => write!(f, "hyperparameter `{name}` out of domain"),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
+
+fn encode_params(p: &RandomForestParams, out: &mut Vec<u8>) {
+    out.put_u32_le(p.n_trees as u32);
+    out.put_f64_le(p.sample_fraction);
+    out.put_u64_le(p.seed);
+    let opt = u8::from(p.max_features.is_some())
+        | u8::from(p.max_depth.is_some()) << 1
+        | u8::from(p.n_bins.is_some()) << 2;
+    out.put_u8(opt);
+    for field in [p.max_features, p.max_depth, p.n_bins]
+        .into_iter()
+        .flatten()
+    {
+        out.put_u32_le(field as u32);
+    }
+}
+
+fn decode_params(buf: &mut &[u8]) -> Result<RandomForestParams, PersistError> {
+    if buf.remaining() < 4 + 8 + 8 + 1 {
+        return Err(PersistError::Truncated);
+    }
+    let n_trees = buf.get_u32_le() as usize;
+    let sample_fraction = buf.get_f64_le();
+    if !(sample_fraction.is_finite() && sample_fraction > 0.0) {
+        return Err(PersistError::BadParam("sample_fraction"));
+    }
+    let seed = buf.get_u64_le();
+    let opt = buf.get_u8();
+    if opt > 0b111 {
+        return Err(PersistError::BadParam("optional-params bitmap"));
+    }
+    let mut opt_field = |bit: u8| -> Result<Option<usize>, PersistError> {
+        if opt & (1 << bit) == 0 {
+            return Ok(None);
+        }
+        if buf.remaining() < 4 {
+            return Err(PersistError::Truncated);
+        }
+        Ok(Some(buf.get_u32_le() as usize))
+    };
+    Ok(RandomForestParams {
+        n_trees,
+        max_features: opt_field(0)?,
+        sample_fraction,
+        max_depth: opt_field(1)?,
+        n_bins: opt_field(2)?,
+        seed,
+    })
+}
 
 fn encode_tree(tree: &DecisionTree, out: &mut Vec<u8>) {
     let nodes = tree.nodes();
@@ -145,6 +205,7 @@ impl RandomForest {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.put_u16_le(VERSION);
+        encode_params(self.params(), &mut out);
         out.put_u32_le(self.tree_count() as u32);
         for tree in self.trees() {
             encode_tree(tree, &mut out);
@@ -153,10 +214,11 @@ impl RandomForest {
     }
 
     /// Restores a forest from [`RandomForest::to_bytes`] output. The
-    /// restored forest scores identically to the original; refitting it
-    /// uses default hyperparameters.
+    /// restored forest scores identically to the original and carries the
+    /// original hyperparameters, so refitting it reproduces the original
+    /// training exactly.
     pub fn from_bytes(mut buf: &[u8]) -> Result<RandomForest, PersistError> {
-        if buf.remaining() < 4 + 2 + 4 {
+        if buf.remaining() < 4 + 2 {
             return Err(PersistError::Truncated);
         }
         let mut magic = [0u8; 4];
@@ -167,6 +229,10 @@ impl RandomForest {
         let version = buf.get_u16_le();
         if version != VERSION {
             return Err(PersistError::UnsupportedVersion(version));
+        }
+        let params = decode_params(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(PersistError::Truncated);
         }
         let n_trees = buf.get_u32_le() as usize;
         // The smallest tree (count + one leaf) takes 13 bytes; bound the
@@ -181,7 +247,7 @@ impl RandomForest {
         if buf.has_remaining() {
             return Err(PersistError::TrailingBytes(buf.remaining()));
         }
-        Ok(RandomForest::from_trees(trees))
+        Ok(RandomForest::from_trees(params, trees))
     }
 }
 
@@ -266,8 +332,10 @@ mod tests {
     fn corrupt_tag_rejected() {
         let (forest, _) = trained_forest();
         let mut bytes = forest.to_bytes();
-        // First node tag lives right after header + first tree's node count.
-        let idx = 4 + 2 + 4 + 4;
+        // First node tag lives right after magic + version + params block
+        // (fixed fields + opt byte + one optional u32: the default n_bins)
+        // + tree count + first tree's node count.
+        let idx = 4 + 2 + (4 + 8 + 8 + 1 + 4) + 4 + 4;
         bytes[idx] = 7;
         assert_eq!(
             RandomForest::from_bytes(&bytes).err(),
@@ -292,13 +360,23 @@ mod tests {
         );
     }
 
+    /// Magic + version + a minimal valid params block (no optional fields).
+    fn header_with_params() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"OPRF");
+        bytes.put_u16_le(3);
+        bytes.put_u32_le(1); // params.n_trees
+        bytes.put_f64_le(1.0); // sample_fraction
+        bytes.put_u64_le(42); // seed
+        bytes.put_u8(0); // no optional fields
+        bytes
+    }
+
     #[test]
     fn hostile_tree_count_cannot_allocate() {
         // Header claims u32::MAX trees but carries no tree bytes: must be
         // rejected before any allocation sized by the count.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(b"OPRF");
-        bytes.put_u16_le(1);
+        let mut bytes = header_with_params();
         bytes.put_u32_le(u32::MAX);
         assert_eq!(
             RandomForest::from_bytes(&bytes).err(),
@@ -309,9 +387,7 @@ mod tests {
     #[test]
     fn hostile_node_count_cannot_allocate() {
         // One tree claiming u32::MAX nodes, backed by a single leaf.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(b"OPRF");
-        bytes.put_u16_le(1);
+        let mut bytes = header_with_params();
         bytes.put_u32_le(1);
         bytes.put_u32_le(u32::MAX);
         bytes.put_u8(0);
@@ -319,6 +395,51 @@ mod tests {
         assert_eq!(
             RandomForest::from_bytes(&bytes).err(),
             Some(PersistError::Truncated)
+        );
+    }
+
+    #[test]
+    fn hyperparameters_round_trip() {
+        // Every non-default field survives persistence, so a restored
+        // forest refits exactly like the original (the v1 format silently
+        // reset restores to default hyperparameters).
+        let params = RandomForestParams {
+            n_trees: 5,
+            max_features: Some(2),
+            sample_fraction: 0.75,
+            max_depth: Some(9),
+            n_bins: None,
+            seed: 0xDEAD_BEEF,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dataset::new(2);
+        for _ in 0..120 {
+            let row = [rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)];
+            d.push(&row, row[0] > 5.0);
+        }
+        let mut f = RandomForest::new(params.clone());
+        f.fit(&d);
+        let restored = RandomForest::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(restored.params(), &params);
+
+        // Refitting the restored forest reproduces the original training.
+        let mut refit = RandomForest::new(restored.params().clone());
+        refit.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(refit.predict_proba(d.row(i)), f.predict_proba(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn bad_sample_fraction_rejected() {
+        let (forest, _) = trained_forest();
+        let mut bytes = forest.to_bytes();
+        // sample_fraction sits right after magic + version + n_trees.
+        let at = 4 + 2 + 4;
+        bytes[at..at + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(
+            RandomForest::from_bytes(&bytes).err(),
+            Some(PersistError::BadParam("sample_fraction"))
         );
     }
 }

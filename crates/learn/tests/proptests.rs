@@ -117,14 +117,56 @@ proptest! {
     }
 
     /// Same, with a valid magic + version prefix so the fuzz bytes reach
-    /// the count/node decoding paths instead of dying at the header.
+    /// the params/count/node decoding paths instead of dying at the header.
     #[test]
     fn forest_decoder_never_panics_past_header(
         mut bytes in prop::collection::vec(any::<u8>(), 6..600),
     ) {
         bytes[..4].copy_from_slice(b"OPRF");
-        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        bytes[4..6].copy_from_slice(&3u16.to_le_bytes());
         let _ = RandomForest::from_bytes(&bytes);
+    }
+
+    /// The serving-path differential guarantee: a compiled forest produces
+    /// bit-identical probabilities to the tree-walk path over random
+    /// datasets, seeds and probes — single-row and batched alike.
+    #[test]
+    fn compiled_forest_matches_tree_walk(
+        rows in prop::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 30..120),
+        probes in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 3..=3), 1..40),
+        n_trees in 1usize..12,
+        seed in any::<u64>(),
+        exact in any::<bool>(),
+    ) {
+        let mut d = Dataset::new(3);
+        for (a, b, c) in &rows {
+            d.push(&[*a, *b, *c], a + b > 10.0);
+        }
+        let mut f = RandomForest::new(RandomForestParams {
+            n_trees,
+            seed,
+            n_bins: if exact { None } else { Some(16) },
+            ..Default::default()
+        });
+        f.fit(&d);
+        let compiled = f.compile();
+        for p in &probes {
+            let walk = f.predict_proba(p);
+            let fast = compiled.predict(p);
+            prop_assert_eq!(walk.to_bits(), fast.to_bits(),
+                "walk {} vs compiled {}", walk, fast);
+        }
+        let batch = compiled.predict_batch(&probes);
+        for (p, got) in probes.iter().zip(&batch) {
+            prop_assert_eq!(f.predict_proba(p).to_bits(), got.to_bits());
+        }
+        // The round trip through persistence compiles identically too.
+        let restored = RandomForest::from_bytes(&f.to_bytes()).unwrap().compile();
+        for p in &probes {
+            prop_assert_eq!(restored.predict(p).to_bits(), compiled.predict(p).to_bits());
+        }
     }
 
     /// Dataset subsetting and column selection commute with row access.

@@ -32,6 +32,11 @@
 //! PREF <recall> <precision>     set the accuracy preference, each in
 //!                               (0, 1] (before HELLO; default 0.66 0.66)
 //! OBS <ts> <value|nan>          feed one point -> verdict (or "pending")
+//! OBSB <ts0> <v0> [v1 ...]      feed a batch of consecutive points (point
+//!                               i lands at ts0 + i*interval) -> one OK
+//!                               line with the per-point verdicts joined
+//!                               by `|`, each byte-identical to what the
+//!                               equivalent OBS would have returned
 //! LABEL <flags>                 label the oldest unlabeled points; flags is
 //!                               a string of 0/1, one per point
 //! RETRAIN                       incremental retraining + cThld refresh
@@ -58,6 +63,16 @@
 //! - **Panic isolation.** A panic while handling a command is caught,
 //!   answered with `ERR internal error`, and takes down only that
 //!   connection — never the server.
+//!
+//! ## Throughput
+//!
+//! The hot path is built for batch-friendly serving: trained forests are
+//! compiled to a flat cache-friendly layout (`opprentice_learn`'s
+//! `CompiledForest`) at retrain time, `OBSB` amortizes the per-line
+//! round-trip over many points, the connection loop drains every complete
+//! pipelined line before answering with one coalesced write, and durable
+//! batches are group-committed to the WAL with a single flush. See
+//! `crates/bench/src/bin/serving_bench.rs` for the measurement harness.
 //!
 //! All knobs live on [`ServerConfig`].
 

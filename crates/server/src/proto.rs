@@ -36,6 +36,16 @@ pub enum Request {
         /// The value (`None` = missing point).
         value: Option<f64>,
     },
+    /// `OBSB <ts0> <v0> [v1 ...]` — feed a batch of consecutive points in
+    /// one line. Point `i` lands at `ts0 + i * interval`; the reply is one
+    /// `OK` line with the per-point verdicts joined by `|`, each rendered
+    /// exactly as the equivalent `OBS` would have rendered it.
+    ObsBatch {
+        /// Epoch seconds of the first point.
+        start: i64,
+        /// The values, one per point (`None` = missing point).
+        values: Vec<Option<f64>>,
+    },
     /// `LABEL <flags>` — label the oldest unlabeled points (`0`/`1` chars).
     Label {
         /// One flag per point, oldest first.
@@ -86,6 +96,19 @@ pub fn validate_session_id(id: &str) -> Result<(), String> {
         return Err("session id may only contain [A-Za-z0-9_-]".to_string());
     }
     Ok(())
+}
+
+/// Parses one `OBS`/`OBSB` value token: a finite f64, or `nan` for a
+/// missing point.
+fn parse_value(raw: &str) -> Result<Option<f64>, String> {
+    if raw.eq_ignore_ascii_case("nan") {
+        return Ok(None);
+    }
+    let v: f64 = raw.parse().map_err(|_| "bad value")?;
+    if !v.is_finite() {
+        return Err("value must be finite".to_string());
+    }
+    Ok(Some(v))
 }
 
 /// Parses one request line. Returns `Err` with a human-readable reason on
@@ -146,16 +169,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .parse()
                 .map_err(|_| "bad timestamp")?;
             let raw = parts.next().ok_or("OBS needs a value")?;
-            let value = if raw.eq_ignore_ascii_case("nan") {
-                None
-            } else {
-                let v: f64 = raw.parse().map_err(|_| "bad value")?;
-                if !v.is_finite() {
-                    return Err("value must be finite".to_string());
-                }
-                Some(v)
-            };
-            Request::Obs { timestamp, value }
+            Request::Obs {
+                timestamp,
+                value: parse_value(raw)?,
+            }
+        }
+        "OBSB" => {
+            let start: i64 = parts
+                .next()
+                .ok_or("OBSB needs a start timestamp")?
+                .parse()
+                .map_err(|_| "bad timestamp")?;
+            let mut values = Vec::new();
+            for raw in parts.by_ref() {
+                values.push(parse_value(raw)?);
+            }
+            if values.is_empty() {
+                return Err("OBSB needs at least one value".to_string());
+            }
+            Request::ObsBatch { start, values }
         }
         "LABEL" => {
             let raw = parts.next().ok_or("LABEL needs flags")?;
@@ -231,6 +263,13 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_request("OBSB 1000 1.5 nan 3"),
+            Ok(Request::ObsBatch {
+                start: 1000,
+                values: vec![Some(1.5), None, Some(3.0)]
+            })
+        );
+        assert_eq!(
             parse_request("LABEL 0101"),
             Ok(Request::Label {
                 flags: vec![false, true, false, true]
@@ -293,6 +332,11 @@ mod tests {
         assert!(parse_request("OBS 5").is_err());
         assert!(parse_request("OBS x 1.0").is_err());
         assert!(parse_request("OBS 5 inf").is_err());
+        assert!(parse_request("OBSB").is_err());
+        assert!(parse_request("OBSB 5").is_err());
+        assert!(parse_request("OBSB 5 1.0 x").is_err());
+        assert!(parse_request("OBSB x 1.0").is_err());
+        assert!(parse_request("OBSB 5 1.0 inf").is_err());
         assert!(parse_request("LABEL 01x").is_err());
         assert!(parse_request("LABEL").is_err());
         assert!(parse_request("PREF 2 0.5").is_err());

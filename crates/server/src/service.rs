@@ -5,10 +5,11 @@
 use crate::proto::{parse_request, Request, Response};
 use crate::store::{DurableSession, SessionStore};
 use opprentice::cthld::Preference;
-use opprentice::{Opprentice, OpprenticeConfig};
+use opprentice::{Detection, Opprentice, OpprenticeConfig};
 use opprentice_learn::RandomForestParams;
 use opprentice_timeseries::Labels;
 use parking_lot::Mutex;
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -127,15 +128,23 @@ impl Session {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
-                match p.observe(*timestamp, *value) {
-                    Some(d) => Response::Ok(format!(
-                        "p={:.4} cthld={:.3} anomaly={}",
-                        d.probability,
-                        d.cthld,
-                        u8::from(d.is_anomaly)
-                    )),
-                    None => Response::Ok("pending".into()),
+                let mut out = String::new();
+                push_verdict(&mut out, p.observe(*timestamp, *value));
+                Response::Ok(out)
+            }
+            Request::ObsBatch { start, values } => {
+                let Some(p) = self.pipeline.as_mut() else {
+                    return Response::Err("HELLO first".into());
+                };
+                let interval = i64::from(p.interval());
+                let mut out = String::with_capacity(values.len() * 32);
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    push_verdict(&mut out, p.observe(start + i as i64 * interval, *v));
                 }
+                Response::Ok(out)
             }
             Request::Label { flags } => {
                 let Some(p) = self.pipeline.as_mut() else {
@@ -171,6 +180,24 @@ impl Session {
     }
 }
 
+/// Renders one observation's verdict exactly as an `OBS` reply carries it
+/// after the `OK ` — shared by the single and batched paths so `OBSB`
+/// replies are guaranteed byte-identical to the equivalent `OBS` sequence.
+fn push_verdict(out: &mut String, d: Option<Detection>) {
+    match d {
+        Some(d) => {
+            let _ = write!(
+                out,
+                "p={:.4} cthld={:.3} anomaly={}",
+                d.probability,
+                d.cthld,
+                u8::from(d.is_anomaly)
+            );
+        }
+        None => out.push_str("pending"),
+    }
+}
+
 /// Shared, immutable context handed to every connection thread.
 struct ConnCtx {
     config: ServerConfig,
@@ -186,6 +213,7 @@ fn is_durable_command(request: &Request) -> bool {
         Request::Hello { .. }
             | Request::Pref { .. }
             | Request::Obs { .. }
+            | Request::ObsBatch { .. }
             | Request::Label { .. }
             | Request::Retrain
     )
@@ -270,7 +298,25 @@ fn apply_line(
         if is_durable_command(&request) {
             // Append after apply, before the OK goes out: every command the
             // client sees acknowledged is on disk.
-            if let Err(e) = d.append(trimmed) {
+            let appended = match &request {
+                // A batch is logged as its equivalent `OBS` lines — replay
+                // needs no batch awareness — with one flush for the whole
+                // group (group commit) instead of one per point.
+                Request::ObsBatch { start, values } => {
+                    let interval = session
+                        .pipeline_mut()
+                        .map_or(1, |p| i64::from(p.interval()));
+                    d.append_batch(values.iter().enumerate().map(|(i, v)| {
+                        let ts = start + i as i64 * interval;
+                        match v {
+                            Some(v) => format!("OBS {ts} {v}"),
+                            None => format!("OBS {ts} nan"),
+                        }
+                    }))
+                }
+                _ => d.append(trimmed),
+            };
+            if let Err(e) = appended {
                 return Response::Err(format!("session store I/O: {e}"));
             }
             if d.since_snapshot() >= ctx.config.snapshot_every {
@@ -286,9 +332,11 @@ fn apply_line(
 }
 
 fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    // One syscall per line, not three (body, newline, flush).
+    let mut out = Vec::with_capacity(line.len() + 1);
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    writer.write_all(&out)
 }
 
 /// Runs one connection to completion with the full hardening stack:
@@ -296,6 +344,9 @@ fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
 /// idle timeouts, a line-length cap, per-command panic isolation, and
 /// durable-session bookkeeping with a final snapshot on clean exit.
 fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
+    // Request/response over small lines: Nagle only adds 40 ms delayed-ACK
+    // stalls here, so replies go out the moment they are written.
+    let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -307,6 +358,9 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
     let mut poisoned = false;
 
     let mut buf: Vec<u8> = Vec::new();
+    // Reused response accumulator: all replies for one read's worth of
+    // complete lines go out in a single coalesced write.
+    let mut out: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 4096];
     let mut last_line_at = Instant::now();
     let mut line_started_at: Option<Instant> = None;
@@ -326,15 +380,18 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                     let _ = write_line(&mut writer, "ERR line too long");
                     break;
                 }
-                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-                    let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
-                    line_started_at = if buf.is_empty() {
-                        None
-                    } else {
-                        Some(Instant::now())
-                    };
+                // Drain every complete line already buffered before
+                // answering, so a client that pipelines K commands costs
+                // one write syscall, not K. Lines are processed in place
+                // (borrowed slices of `buf`) — no per-line allocation.
+                let mut consumed = 0usize;
+                let mut done = false;
+                out.clear();
+                while let Some(rel) = buf[consumed..].iter().position(|&b| b == b'\n') {
+                    let end = consumed + rel;
+                    let line = String::from_utf8_lossy(&buf[consumed..end]);
+                    consumed = end + 1;
                     last_line_at = Instant::now();
-                    let line = String::from_utf8_lossy(&line_bytes);
                     let trimmed = line.trim();
                     if trimmed.is_empty() {
                         continue;
@@ -346,7 +403,7 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         apply_line(trimmed, &mut session, &mut durable, &ctx)
                     }));
-                    let (response, done) = match outcome {
+                    let (response, finished) = match outcome {
                         Ok(Response::Bye) => (Response::Bye, true),
                         Ok(r) => (r, false),
                         Err(_) => {
@@ -354,9 +411,27 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                             (Response::Err("internal error".into()), true)
                         }
                     };
-                    if write_line(&mut writer, &response.render()).is_err() || done {
-                        break 'outer;
+                    out.extend_from_slice(response.render().as_bytes());
+                    out.push(b'\n');
+                    if finished {
+                        done = true;
+                        break;
                     }
+                }
+                if consumed > 0 {
+                    buf.drain(..consumed);
+                    // The slowloris clock restarts only when a line was
+                    // completed; a still-partial line keeps its original
+                    // start time.
+                    line_started_at = if buf.is_empty() {
+                        None
+                    } else {
+                        Some(Instant::now())
+                    };
+                }
+                let write_failed = !out.is_empty() && writer.write_all(&out).is_err();
+                if write_failed || done {
+                    break 'outer;
                 }
             }
             Err(e)
@@ -598,6 +673,60 @@ mod tests {
         assert!(spike.contains("anomaly=1"), "{spike}");
 
         assert_eq!(c.send("QUIT"), "BYE");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// The load-bearing batching contract: an `OBSB` reply is the `|`-join
+    /// of exactly the replies the equivalent `OBS` sequence produces.
+    #[test]
+    fn obsb_reply_matches_single_obs_replies() {
+        let (handle, join) = start_server(test_config());
+        let mut singles = Client::connect(handle.addr());
+        let mut batched = Client::connect(handle.addr());
+        assert!(singles.send("HELLO 3600").starts_with("OK"));
+        assert!(batched.send("HELLO 3600").starts_with("OK"));
+
+        let values = ["100.0", "120.5", "nan", "90.25"];
+        let one_by_one: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let reply = singles.send(&format!("OBS {} {v}", i as i64 * 3600));
+                reply.strip_prefix("OK ").expect("OK reply").to_string()
+            })
+            .collect();
+        assert_eq!(
+            batched.send(&format!("OBSB 0 {}", values.join(" "))),
+            format!("OK {}", one_by_one.join("|"))
+        );
+
+        // A batch needs a pipeline, like a single observation does.
+        let mut fresh = Client::connect(handle.addr());
+        assert!(fresh.send("OBSB 0 1.0").starts_with("ERR"));
+
+        singles.send("QUIT");
+        batched.send("QUIT");
+        fresh.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Pipelined commands (many lines in one write) are all answered, in
+    /// order — the coalesced read/write path.
+    #[test]
+    fn pipelined_lines_are_all_answered() {
+        let (handle, join) = start_server(test_config());
+        let mut c = Client::connect(handle.addr());
+        c.writer
+            .write_all(b"HELLO 60\nOBS 0 1.0\nSTATUS\nBOGUS\n")
+            .unwrap();
+        c.writer.flush().unwrap();
+        assert!(c.read_line().starts_with("OK opprentice"));
+        assert_eq!(c.read_line(), "OK pending");
+        assert!(c.read_line().starts_with("OK observed=1"));
+        assert!(c.read_line().starts_with("ERR"));
+        c.send("QUIT");
         handle.shutdown();
         join.join().unwrap();
     }

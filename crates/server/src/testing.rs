@@ -16,9 +16,22 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to the server.
+    /// Connects to the server with `TCP_NODELAY` set (the deployment
+    /// recommendation for this small-line request/response protocol).
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects *without* `TCP_NODELAY` — a naive agent whose small
+    /// per-point writes interact with Nagle + delayed ACK (~40 ms stalls).
+    /// The serving benchmark uses this as its pre-batching baseline.
+    pub fn connect_plain(addr: SocketAddr) -> std::io::Result<Client> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

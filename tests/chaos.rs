@@ -10,7 +10,9 @@
 //! - a killed-and-resumed durable session produces verdicts identical to a
 //!   session that was never interrupted — across client crashes, a handler
 //!   panic, *and* a full server restart,
-//! - a panicking handler takes down only its own connection.
+//! - a panicking handler takes down only its own connection,
+//! - `OBSB` batches reply and are write-ahead logged exactly like the
+//!   equivalent `OBS` sequence, including across a kill-and-resume cycle.
 
 use opprentice_server::testing::{Client, FaultInjector};
 use opprentice_server::{Server, ServerConfig, ServerHandle};
@@ -283,6 +285,118 @@ fn killed_and_resumed_session_scores_identically() {
 
     handle.shutdown();
     join.join().unwrap();
+    std::fs::remove_dir_all(state_dir).unwrap();
+}
+
+/// The batching contract under crashes: a durable session fed `OBSB`
+/// batches (1) answers the exact `|`-join of the replies the equivalent
+/// `OBS` sequence produces, (2) logs the decomposed `OBS` lines to its WAL
+/// byte-for-byte, and (3) keeps producing byte-identical verdicts after a
+/// kill-and-resume cycle.
+#[test]
+fn obsb_batches_match_obs_across_kill_and_resume() {
+    let state_dir = scratch();
+    let config = ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        snapshot_every: 64,
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+
+    // Three weeks of history plus a held-out week; the spike schedule
+    // misses the held-out window, so explicit probes close the stream.
+    let (history, flags) = kpi_stream(21 * 24);
+    let (full, _) = kpi_stream(22 * 24);
+    let mut held_out: Vec<String> = full[21 * 24..].to_vec();
+    held_out.push(format!("OBS {} 400.0", 22 * 24 * 3600));
+    held_out.push(format!("OBS {} 100.0", (22 * 24 + 1) * 3600));
+
+    // Rewrites a run of `OBS <ts> <v>` lines as one-day `OBSB` lines.
+    let to_batches = |lines: &[String]| -> Vec<String> {
+        lines
+            .chunks(24)
+            .map(|chunk| {
+                let ts0 = chunk[0].split_whitespace().nth(1).unwrap();
+                let values: Vec<&str> = chunk
+                    .iter()
+                    .map(|l| l.split_whitespace().nth(2).unwrap())
+                    .collect();
+                format!("OBSB {ts0} {}", values.join(" "))
+            })
+            .collect()
+    };
+    // Splits batch replies back into the per-point replies they carry.
+    let flatten = |replies: &[String]| -> Vec<String> {
+        replies
+            .iter()
+            .flat_map(|r| {
+                r.strip_prefix("OK ")
+                    .expect("OK batch reply")
+                    .split('|')
+                    .map(|p| format!("OK {p}"))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    // Control: an uninterrupted ephemeral session fed point by point.
+    let mut control = Client::connect(handle.addr()).expect("connect");
+    assert!(control.send("HELLO 3600").unwrap().starts_with("OK"));
+    let control_history = send_all(&mut control, &history);
+    assert!(control
+        .send(&format!("LABEL {flags}"))
+        .unwrap()
+        .starts_with("OK"));
+    assert!(control.send("RETRAIN").unwrap().starts_with("OK trained"));
+    let control_verdicts = send_all(&mut control, &held_out);
+    control.send("QUIT").unwrap();
+
+    // Victim: a durable session fed in batches, killed mid-history.
+    let mut victim = Client::connect(handle.addr()).expect("connect");
+    assert!(victim.send("HELLO 3600 obsb").unwrap().starts_with("OK"));
+    let week1 = send_all(&mut victim, &to_batches(&history[..7 * 24]));
+    victim.kill(); // client crash between batches, no QUIT
+
+    let mut victim = resume(handle.addr(), "obsb");
+    let rest = send_all(&mut victim, &to_batches(&history[7 * 24..]));
+    let batched_history: Vec<String> = week1.into_iter().chain(rest).collect();
+    assert_eq!(flatten(&batched_history), control_history);
+
+    assert!(victim
+        .send(&format!("LABEL {flags}"))
+        .unwrap()
+        .starts_with("OK"));
+    assert!(victim.send("RETRAIN").unwrap().starts_with("OK trained"));
+
+    // Held out: first half batched, then another kill, rest as singles.
+    let batched_half = send_all(&mut victim, &to_batches(&held_out[..12]));
+    victim.kill();
+    let mut victim = resume(handle.addr(), "obsb");
+    let single_half = send_all(&mut victim, &held_out[12..]);
+    let victim_verdicts: Vec<String> = flatten(&batched_half)
+        .into_iter()
+        .chain(single_half)
+        .collect();
+    assert_eq!(victim_verdicts, control_verdicts);
+    assert!(
+        victim_verdicts.iter().any(|v| v.contains("anomaly=1")),
+        "no spike ever alerted"
+    );
+    victim.send("QUIT").unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+
+    // The WAL holds the decomposed OBS lines, byte-identical to the
+    // equivalent single-OBS stream, in order.
+    let wal = std::fs::read_to_string(state_dir.join("obsb").join("wal.log")).unwrap();
+    let logged_obs: Vec<&str> = wal.lines().filter(|l| l.starts_with("OBS ")).collect();
+    let expected: Vec<&str> = history
+        .iter()
+        .chain(held_out.iter())
+        .map(String::as_str)
+        .collect();
+    assert_eq!(logged_obs, expected);
+
     std::fs::remove_dir_all(state_dir).unwrap();
 }
 
