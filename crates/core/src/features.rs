@@ -11,6 +11,9 @@ use opprentice_detectors::registry;
 use opprentice_detectors::registry::ConfiguredDetector;
 use opprentice_learn::Dataset;
 use opprentice_timeseries::{Labels, TimeSeries};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// The per-point severities of every detector configuration.
 #[derive(Debug, Clone)]
@@ -163,8 +166,32 @@ impl FeatureMatrix {
     }
 }
 
+/// Splits configurations into contiguous chunks of roughly `chunk` entries
+/// without ever separating a scheduling group (configurations sharing
+/// mutable state — e.g. wavelet band views of one filter bank — must stay
+/// on one thread, in lockstep).
+fn split_respecting_groups(
+    mut rest: &mut [ConfiguredDetector],
+    chunk: usize,
+) -> Vec<&mut [ConfiguredDetector]> {
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        let mut take = chunk.min(rest.len());
+        while take < rest.len() && rest[take].group == rest[take - 1].group {
+            take += 1;
+        }
+        let (batch, tail) = rest.split_at_mut(take);
+        out.push(batch);
+        rest = tail;
+    }
+    out
+}
+
 /// Runs every given configuration over the whole series, in parallel across
 /// configurations, and assembles the feature matrix.
+///
+/// Columns are written at each configuration's `index`, so `configs` must
+/// carry dense indices `0..configs.len()` (the registry's natural shape).
 pub fn extract_with(mut configs: Vec<ConfiguredDetector>, series: &TimeSeries) -> FeatureMatrix {
     let labels: Vec<String> = configs.iter().map(ConfiguredDetector::label).collect();
     let n = series.len();
@@ -178,26 +205,45 @@ pub fn extract_with(mut configs: Vec<ConfiguredDetector>, series: &TimeSeries) -
 
     let mut columns: Vec<(usize, Vec<Option<f64>>)> = Vec::with_capacity(m);
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut rest: &mut [ConfiguredDetector] = &mut configs;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (batch, tail) = rest.split_at_mut(take);
-            rest = tail;
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(batch.len());
-                for cfg in batch {
-                    let col: Vec<Option<f64>> = series
-                        .iter()
-                        .map(|(ts, v)| {
-                            opprentice_detectors::clamp_severity(cfg.detector.observe(ts, v))
-                        })
-                        .collect();
-                    out.push((cfg.index, col));
-                }
-                out
-            }));
-        }
+        let handles: Vec<_> = split_respecting_groups(&mut configs, chunk)
+            .into_iter()
+            .map(|batch| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(batch.len());
+                    let mut k = 0;
+                    while k < batch.len() {
+                        let mut end = k + 1;
+                        while end < batch.len() && batch[end].group == batch[k].group {
+                            end += 1;
+                        }
+                        // A multi-member group (wavelet band views of one
+                        // filter bank) must advance point-by-point in
+                        // lockstep; independent detectors take the plain
+                        // column-at-a-time path.
+                        let run = &mut batch[k..end];
+                        let mut cols: Vec<Vec<Option<f64>>> = run
+                            .iter()
+                            .map(|_| Vec::with_capacity(series.len()))
+                            .collect();
+                        if run.len() == 1 {
+                            cols[0]
+                                .extend(series.iter().map(|(ts, v)| run[0].observe_clamped(ts, v)));
+                        } else {
+                            for (ts, v) in series.iter() {
+                                for (cfg, col) in run.iter_mut().zip(cols.iter_mut()) {
+                                    col.push(cfg.observe_clamped(ts, v));
+                                }
+                            }
+                        }
+                        for (cfg, col) in run.iter().zip(cols) {
+                            out.push((cfg.index, col));
+                        }
+                        k = end;
+                    }
+                    out
+                })
+            })
+            .collect();
         for h in handles {
             columns.extend(h.join().expect("extraction thread panicked"));
         }
@@ -222,39 +268,301 @@ pub fn extract_features(series: &TimeSeries) -> FeatureMatrix {
     extract_with(registry(series.interval()), series)
 }
 
-/// An online, stateful feature extractor: feed one point, get one row.
-/// This is the deployment path (the offline [`extract_features`] is the
-/// evaluation path; both produce identical severities).
+/// Batches below this size are extracted inline — worker hand-off costs
+/// more than it buys on a handful of points.
+const MIN_PARALLEL_BATCH: usize = 4;
+
+/// One worker's slice of the detector set plus its per-batch output.
+struct Shard {
+    dets: Vec<ConfiguredDetector>,
+    /// Column-major severities for the current batch:
+    /// `dets.len() × batch_len`, detector-major.
+    out: Vec<Option<f64>>,
+}
+
+impl Shard {
+    /// Runs the shard's detectors over one batch. Per-detector state
+    /// advances sequentially, and multi-member groups (wavelet band views
+    /// of one filter bank) advance point-by-point in lockstep, so results
+    /// are bit-identical to streaming.
+    fn run(&mut self, timestamps: &[i64], values: &[Option<f64>]) {
+        let n = timestamps.len();
+        self.out.clear();
+        self.out.resize(self.dets.len() * n, None);
+        let mut k = 0;
+        while k < self.dets.len() {
+            let mut end = k + 1;
+            while end < self.dets.len() && self.dets[end].group == self.dets[k].group {
+                end += 1;
+            }
+            if end - k == 1 {
+                self.dets[k].observe_batch_clamped(
+                    timestamps,
+                    values,
+                    &mut self.out[k * n..(k + 1) * n],
+                );
+            } else {
+                for i in 0..n {
+                    for (j, cfg) in self.dets[k..end].iter_mut().enumerate() {
+                        self.out[(k + j) * n + i] = cfg.observe_clamped(timestamps[i], values[i]);
+                    }
+                }
+            }
+            k = end;
+        }
+    }
+}
+
+/// A batch handed to the worker pool (shared read-only by all shards).
+struct BatchInput {
+    timestamps: Vec<i64>,
+    values: Vec<Option<f64>>,
+}
+
+struct Job {
+    shard: Arc<Mutex<Shard>>,
+    input: Arc<BatchInput>,
+}
+
+/// A persistent pool of extraction workers. Threads live as long as the
+/// pool; dropping the pool closes the job channel and the workers exit.
+struct WorkerPool {
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<bool>,
+    _workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(n_workers: usize) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..n_workers)
+            .map(|i| {
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("extract-{i}"))
+                    .spawn(move || loop {
+                        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        };
+                        let ok = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut shard = job.shard.lock().expect("shard poisoned");
+                            shard.run(&job.input.timestamps, &job.input.values);
+                        }))
+                        .is_ok();
+                        drop(job);
+                        if done_tx.send(ok).is_err() {
+                            return;
+                        }
+                    })
+                    .expect("failed to spawn extraction worker")
+            })
+            .collect();
+        Self {
+            job_tx,
+            done_rx,
+            _workers: workers,
+        }
+    }
+}
+
+/// Runs `f` on the shard, skipping the lock when no worker holds a
+/// reference (the common case between batches).
+fn with_shard<R>(shard: &mut Arc<Mutex<Shard>>, f: impl FnOnce(&mut Shard) -> R) -> R {
+    match Arc::get_mut(shard) {
+        Some(m) => f(m.get_mut().expect("shard poisoned")),
+        None => f(&mut shard.lock().expect("shard poisoned")),
+    }
+}
+
+/// An online, stateful feature extractor: feed one point (or one batch of
+/// consecutive points), get severity rows. This is the deployment path
+/// (the offline [`extract_features`] is the evaluation path; all paths
+/// produce bit-identical severities).
+///
+/// Internally the configurations are sharded across a persistent worker
+/// pool for [`OnlineExtractor::observe_batch`]; per-detector state always
+/// advances sequentially, so batched, streaming and offline extraction
+/// cannot diverge.
 pub struct OnlineExtractor {
-    detectors: Vec<ConfiguredDetector>,
+    shards: Vec<Arc<Mutex<Shard>>>,
+    labels: Vec<String>,
+    n_features: usize,
+    /// Single-point output row, by feature index.
     row: Vec<Option<f64>>,
+    /// Batched output, row-major (`batch_len × n_features`).
+    batch: Vec<Option<f64>>,
+    /// Lazily spawned on the first parallel batch.
+    pool: Option<WorkerPool>,
 }
 
 impl OnlineExtractor {
     /// Creates the extractor with the full registry for `interval`.
     pub fn new(interval: u32) -> Self {
-        let detectors = registry(interval);
-        let m = detectors.len();
+        Self::with_configs(registry(interval))
+    }
+
+    /// Creates the extractor over an explicit configuration set — e.g. a
+    /// pruned feature set from `opprentice_learn::feature_select`, or a
+    /// sibling KPI's registry for cross-KPI transfer.
+    ///
+    /// Column `c` of the output is `configs[c]`; each configuration's
+    /// `index` is rewritten to its column so rows and labels always line
+    /// up, whatever subset or order the caller picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, or if members of a scheduling group
+    /// are not adjacent (state-sharing detectors must stay in lockstep;
+    /// keep registry order when pruning).
+    pub fn with_configs(mut configs: Vec<ConfiguredDetector>) -> Self {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        // Group members must be adjacent: a group id may not reappear
+        // after a different one intervened.
+        {
+            let mut seen_after_switch: Vec<usize> = Vec::new();
+            let mut current = None;
+            for c in &configs {
+                if current != Some(c.group) {
+                    assert!(
+                        !seen_after_switch.contains(&c.group),
+                        "scheduling group {} split by reordering",
+                        c.group
+                    );
+                    if let Some(prev) = current {
+                        seen_after_switch.push(prev);
+                    }
+                    current = Some(c.group);
+                }
+            }
+        }
+        let labels: Vec<String> = configs.iter().map(ConfiguredDetector::label).collect();
+        let m = configs.len();
+        for (column, cfg) in configs.iter_mut().enumerate() {
+            cfg.index = column;
+        }
+
+        // Partition into runs of one scheduling group, then deal the runs
+        // round-robin across shards so heavy families spread out.
+        let mut runs: Vec<Vec<ConfiguredDetector>> = Vec::new();
+        for cfg in configs {
+            match runs.last_mut() {
+                Some(run) if run[0].group == cfg.group => run.push(cfg),
+                _ => runs.push(vec![cfg]),
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
+        let n_shards = threads.min(runs.len()).max(1);
+        let mut shards: Vec<Vec<ConfiguredDetector>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, run) in runs.into_iter().enumerate() {
+            shards[i % n_shards].extend(run);
+        }
+
         Self {
-            detectors,
+            shards: shards
+                .into_iter()
+                .map(|dets| {
+                    Arc::new(Mutex::new(Shard {
+                        dets,
+                        out: Vec::new(),
+                    }))
+                })
+                .collect(),
+            labels,
+            n_features: m,
             row: vec![None; m],
+            batch: Vec::new(),
+            pool: None,
         }
     }
 
     /// Configuration labels, by column.
     pub fn labels(&self) -> Vec<String> {
-        self.detectors
-            .iter()
-            .map(ConfiguredDetector::label)
-            .collect()
+        self.labels.clone()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// Feeds the next point to every detector, returning the severity row.
     pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> &[Option<f64>] {
-        for (cfg, slot) in self.detectors.iter_mut().zip(&mut self.row) {
-            *slot = opprentice_detectors::clamp_severity(cfg.detector.observe(timestamp, value));
+        let row = &mut self.row;
+        for shard in &mut self.shards {
+            with_shard(shard, |s| {
+                for cfg in &mut s.dets {
+                    row[cfg.index] = cfg.observe_clamped(timestamp, value);
+                }
+            });
         }
         &self.row
+    }
+
+    /// Feeds a run of consecutive points to every detector, returning the
+    /// severity rows row-major (`values.len() × n_features`). Severities
+    /// are bit-identical to calling [`OnlineExtractor::observe`] per point;
+    /// the shards just advance concurrently on the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timestamps` and `values` lengths differ or a worker dies.
+    pub fn observe_batch(&mut self, timestamps: &[i64], values: &[Option<f64>]) -> &[Option<f64>] {
+        assert_eq!(timestamps.len(), values.len(), "batch length mismatch");
+        let n = timestamps.len();
+        let m = self.n_features;
+        self.batch.clear();
+        self.batch.resize(n * m, None);
+        if n == 0 {
+            return &self.batch;
+        }
+
+        if n < MIN_PARALLEL_BATCH || self.shards.len() < 2 {
+            for shard in &mut self.shards {
+                with_shard(shard, |s| s.run(timestamps, values));
+            }
+        } else {
+            let pool = {
+                let n_workers = self.shards.len();
+                self.pool
+                    .get_or_insert_with(|| WorkerPool::spawn(n_workers))
+            };
+            let input = Arc::new(BatchInput {
+                timestamps: timestamps.to_vec(),
+                values: values.to_vec(),
+            });
+            for shard in &self.shards {
+                pool.job_tx
+                    .send(Job {
+                        shard: Arc::clone(shard),
+                        input: Arc::clone(&input),
+                    })
+                    .expect("extraction pool is gone");
+            }
+            for _ in 0..self.shards.len() {
+                let ok = pool.done_rx.recv().expect("extraction worker died");
+                assert!(ok, "extraction worker panicked");
+            }
+        }
+
+        let batch = &mut self.batch;
+        for shard in &mut self.shards {
+            with_shard(shard, |s| {
+                for (k, cfg) in s.dets.iter().enumerate() {
+                    let col = &s.out[k * n..(k + 1) * n];
+                    for (i, &sev) in col.iter().enumerate() {
+                        batch[i * m + cfg.index] = sev;
+                    }
+                }
+            });
+        }
+        &self.batch
     }
 }
 

@@ -14,6 +14,10 @@ use crate::predictor::{five_fold_cthld, EwmaCthldPredictor};
 use opprentice_learn::metrics::pr_curve;
 use opprentice_learn::{Classifier, CompiledForest, RandomForest, RandomForestParams};
 use opprentice_timeseries::{Labels, TimeSeries};
+use std::time::Instant;
+
+/// Points per chunk when replaying history through the batch extractor.
+const HISTORY_CHUNK: usize = 256;
 
 /// Configuration of an [`Opprentice`] instance.
 #[derive(Debug, Clone)]
@@ -65,6 +69,11 @@ pub struct Opprentice {
     /// Scratch row for online prediction (severities with `None` → 0.0),
     /// reused across points so the hot path allocates nothing.
     feat_buf: Vec<f64>,
+    /// Cumulative wall-clock nanoseconds spent in feature extraction.
+    extract_ns: u64,
+    /// Cumulative wall-clock nanoseconds spent scoring (matrix append +
+    /// forest prediction).
+    infer_ns: u64,
 }
 
 impl Opprentice {
@@ -83,6 +92,8 @@ impl Opprentice {
             compiled: None,
             predictor,
             feat_buf: Vec::new(),
+            extract_ns: 0,
+            infer_ns: 0,
         }
     }
 
@@ -116,6 +127,19 @@ impl Opprentice {
     /// The KPI sampling interval in seconds.
     pub fn interval(&self) -> u32 {
         self.interval
+    }
+
+    /// Cumulative wall-clock microseconds spent extracting features over
+    /// the pipeline's lifetime ([`Opprentice::observe`] and
+    /// [`Opprentice::observe_batch`]).
+    pub fn extract_us(&self) -> u64 {
+        self.extract_ns / 1_000
+    }
+
+    /// Cumulative wall-clock microseconds spent scoring (matrix append +
+    /// forest prediction) over the pipeline's lifetime.
+    pub fn infer_us(&self) -> u64 {
+        self.infer_ns / 1_000
     }
 
     /// The operator labels accumulated so far.
@@ -186,9 +210,25 @@ impl Opprentice {
                 labels: labels.len(),
             });
         }
-        for (ts, v) in series {
-            let row = self.extractor.observe(ts, v).to_vec();
-            self.matrix.push_row(&row, v.is_some());
+        let m = self.extractor.n_features();
+        let mut ts_buf = Vec::with_capacity(HISTORY_CHUNK);
+        let mut val_buf = Vec::with_capacity(HISTORY_CHUNK);
+        let mut i = 0;
+        while i < series.len() {
+            let end = (i + HISTORY_CHUNK).min(series.len());
+            ts_buf.clear();
+            val_buf.clear();
+            for j in i..end {
+                ts_buf.push(series.timestamp_at(j));
+                val_buf.push(series.get(j));
+            }
+            let t0 = Instant::now();
+            let rows = self.extractor.observe_batch(&ts_buf, &val_buf);
+            self.extract_ns += t0.elapsed().as_nanos() as u64;
+            for (k, v) in val_buf.iter().enumerate() {
+                self.matrix.push_row(&rows[k * m..(k + 1) * m], v.is_some());
+            }
+            i = end;
         }
         self.truth = labels.clone();
         Ok(())
@@ -201,19 +241,71 @@ impl Opprentice {
     /// the matrix and a reused scratch buffer (no per-point allocation),
     /// and the prediction comes from the compiled forest.
     pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> Option<Detection> {
+        let t0 = Instant::now();
         let row = self.extractor.observe(timestamp, value);
+        self.extract_ns += t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
         self.matrix.push_row(row, value.is_some());
         self.feat_buf.clear();
         self.feat_buf.extend(row.iter().map(|s| s.unwrap_or(0.0)));
-        value?;
-        let compiled = self.compiled.as_ref()?;
-        let probability = compiled.predict(&self.feat_buf);
-        let cthld = self.current_cthld();
-        Some(Detection {
-            probability,
-            cthld,
-            is_anomaly: probability >= cthld,
-        })
+        let verdict = (|| {
+            value?;
+            let compiled = self.compiled.as_ref()?;
+            let probability = compiled.predict(&self.feat_buf);
+            let cthld = self
+                .predictor
+                .predict()
+                .unwrap_or(self.config.fallback_cthld);
+            Some(Detection {
+                probability,
+                cthld,
+                is_anomaly: probability >= cthld,
+            })
+        })();
+        self.infer_ns += t1.elapsed().as_nanos() as u64;
+        verdict
+    }
+
+    /// Feeds a run of consecutive points starting at `start` (each
+    /// subsequent point one interval later); returns one verdict slot per
+    /// point. Verdicts are bit-identical to calling [`Opprentice::observe`]
+    /// once per point — the batch path only shards the 133 detector
+    /// configurations across a worker pool.
+    pub fn observe_batch(&mut self, start: i64, values: &[Option<f64>]) -> Vec<Option<Detection>> {
+        let m = self.extractor.n_features();
+        let step = i64::from(self.interval);
+        let timestamps: Vec<i64> = (0..values.len() as i64).map(|i| start + i * step).collect();
+
+        let t0 = Instant::now();
+        let rows = self.extractor.observe_batch(&timestamps, values);
+        self.extract_ns += t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let cthld = self
+            .predictor
+            .predict()
+            .unwrap_or(self.config.fallback_cthld);
+        let compiled = self.compiled.as_ref();
+        let mut out = Vec::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            let row = &rows[i * m..(i + 1) * m];
+            self.matrix.push_row(row, v.is_some());
+            self.feat_buf.clear();
+            self.feat_buf.extend(row.iter().map(|s| s.unwrap_or(0.0)));
+            out.push(match (v, compiled) {
+                (Some(_), Some(c)) => {
+                    let probability = c.predict(&self.feat_buf);
+                    Some(Detection {
+                        probability,
+                        cthld,
+                        is_anomaly: probability >= cthld,
+                    })
+                }
+                _ => None,
+            });
+        }
+        self.infer_ns += t1.elapsed().as_nanos() as u64;
+        out
     }
 
     /// Appends operator labels for the oldest `labels.len()` unlabeled
@@ -449,6 +541,38 @@ mod tests {
                 labels: 9
             })
         );
+    }
+
+    #[test]
+    fn observe_batch_matches_streaming_bit_for_bit() {
+        let (series, labels) = labeled_history(28);
+        let mut batched = Opprentice::new(INTERVAL, small_config());
+        let mut streamed = Opprentice::new(INTERVAL, small_config());
+        batched.ingest_history(&series, &labels).unwrap();
+        streamed.ingest_history(&series, &labels).unwrap();
+        assert!(batched.retrain());
+        assert!(streamed.retrain());
+
+        let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
+        let vals: Vec<Option<f64>> = (0..50)
+            .map(|i| {
+                if i % 9 == 4 {
+                    None
+                } else {
+                    let spike = if i == 30 { 250.0 } else { 0.0 };
+                    Some(100.0 + (i % 24) as f64 + spike)
+                }
+            })
+            .collect();
+        let out = batched.observe_batch(t0, &vals);
+        assert_eq!(out.len(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            let single = streamed.observe(t0 + i as i64 * i64::from(INTERVAL), *v);
+            assert_eq!(out[i], single, "point {i}");
+        }
+        assert_eq!(batched.observed_len(), streamed.observed_len());
+        assert!(batched.extract_us() > 0, "extraction timer never advanced");
+        assert!(batched.infer_us() > 0, "inference timer never advanced");
     }
 
     #[test]

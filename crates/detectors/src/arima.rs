@@ -19,7 +19,7 @@ const FIT_WINDOW: usize = 2016;
 const MIN_FIT: usize = 256;
 
 /// The self-tuning ARIMA detector.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ArimaDetector {
     interval: u32,
     /// Trailing raw values used for refits.
@@ -95,6 +95,10 @@ impl Detector for ArimaDetector {
         self.points_since_fit += 1;
         self.maybe_fit();
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -74,6 +74,10 @@ impl Detector for Diff {
         severity
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "diff"
     }

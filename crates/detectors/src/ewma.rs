@@ -35,6 +35,10 @@ impl Detector for EwmaDetector {
         severity
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "EWMA"
     }

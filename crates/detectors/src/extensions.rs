@@ -80,6 +80,10 @@ impl Detector for Cusum {
         severity
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "CUSUM"
     }
@@ -143,6 +147,10 @@ impl Detector for SlidingPercentile {
             self.window.pop_front();
         }
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -221,6 +229,10 @@ impl Detector for SeasonalEsd {
         severity
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "seasonal ESD"
     }
@@ -249,12 +261,14 @@ pub fn extended_registry(interval: u32) -> Vec<ConfiguredDetector> {
         extra.push(Box::new(SeasonalEsd::new(days, interval)));
     }
     let base = out.len();
+    let base_group = out.last().map_or(0, |c| c.group + 1);
     out.extend(
         extra
             .into_iter()
             .enumerate()
             .map(|(i, detector)| ConfiguredDetector {
                 index: base + i,
+                group: base_group + i,
                 detector,
             }),
     );

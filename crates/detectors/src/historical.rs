@@ -8,9 +8,8 @@
 //! replaces mean/σ with median/MAD.
 
 use crate::Detector;
-use opprentice_numeric::stats;
+use opprentice_numeric::rolling::SortedWindow;
 use opprentice_timeseries::slot_of_day;
-use std::collections::VecDeque;
 
 /// Minimum same-slot samples before severities start.
 const MIN_HISTORY: usize = 5;
@@ -22,7 +21,7 @@ pub struct HistoricalAverage {
     robust: bool,
     interval: u32,
     /// Per-slot-of-day history, up to `7 * weeks` entries each.
-    per_slot: Vec<VecDeque<f64>>,
+    per_slot: Vec<SortedWindow>,
 }
 
 impl HistoricalAverage {
@@ -39,12 +38,8 @@ impl HistoricalAverage {
             weeks,
             robust,
             interval,
-            per_slot: vec![VecDeque::new(); ppd],
+            per_slot: vec![SortedWindow::new(7 * weeks); ppd],
         }
-    }
-
-    fn capacity(&self) -> usize {
-        7 * self.weeks
     }
 }
 
@@ -53,18 +48,17 @@ impl Detector for HistoricalAverage {
         let slot = slot_of_day(timestamp, self.interval);
         let v = value?;
 
-        let history = &self.per_slot[slot];
+        let history = &mut self.per_slot[slot];
         let severity = if history.len() >= MIN_HISTORY {
-            let xs: Vec<f64> = history.iter().copied().collect();
             let (center, spread_raw) = if self.robust {
                 (
-                    stats::median(&xs).expect("non-empty"),
-                    stats::mad(&xs).unwrap_or(0.0),
+                    history.median().expect("non-empty"),
+                    history.mad().unwrap_or(0.0),
                 )
             } else {
                 (
-                    stats::mean(&xs).expect("non-empty"),
-                    stats::std_dev(&xs).unwrap_or(0.0),
+                    history.mean().expect("non-empty"),
+                    history.std_dev().unwrap_or(0.0),
                 )
             };
             let spread = spread_raw.max(1e-9 * (1.0 + center.abs()));
@@ -73,13 +67,12 @@ impl Detector for HistoricalAverage {
             None
         };
 
-        let cap = self.capacity();
-        let history = &mut self.per_slot[slot];
-        history.push_back(v);
-        if history.len() > cap {
-            history.pop_front();
-        }
+        history.push(v);
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -189,6 +182,6 @@ mod tests {
         }
         assert_eq!(d.per_slot[0].len(), 7);
         // Oldest entries evicted: the window holds days 23..30.
-        assert_eq!(d.per_slot[0].front().copied(), Some(23.0));
+        assert_eq!(d.per_slot[0].front(), Some(23.0));
     }
 }

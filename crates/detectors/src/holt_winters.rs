@@ -57,6 +57,10 @@ impl Detector for HoltWintersDetector {
             .map(|forecast| (v - forecast).abs())
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Holt-Winters"
     }

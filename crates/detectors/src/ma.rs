@@ -54,6 +54,10 @@ impl Detector for SimpleMa {
         severity
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "simple MA"
     }
@@ -106,6 +110,10 @@ impl Detector for WeightedMa {
             self.window.pop_front();
         }
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -168,6 +176,10 @@ impl Detector for MaOfDiff {
         };
         self.prev = Some(v);
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -14,21 +14,60 @@ use crate::ma::{MaOfDiff, SimpleMa, WeightedMa};
 use crate::simple_threshold::SimpleThreshold;
 use crate::svd::SvdDetector;
 use crate::tsd::Tsd;
-use crate::wavelet::{Band, WaveletDetector};
+use crate::wavelet::WaveletDetector;
 use crate::Detector;
 
 /// One entry of the registry: a ready-to-run detector configuration.
 pub struct ConfiguredDetector {
     /// Stable feature index (0..132) — column in the feature matrix.
     pub index: usize,
+    /// Scheduling group. Configurations sharing a group share mutable
+    /// state (the wavelet band views of one window share a filter bank)
+    /// and must observe every point in lockstep on one thread; the
+    /// extraction layer never splits a group across workers. Groups are
+    /// contiguous in registry order.
+    pub group: usize,
     /// The boxed detector, fresh (no state).
     pub detector: Box<dyn Detector>,
+}
+
+impl Clone for ConfiguredDetector {
+    /// Deep-copies the detector state (see [`Detector::clone_box`]); the
+    /// clone's severity stream continues exactly where the original's was.
+    fn clone(&self) -> Self {
+        Self {
+            index: self.index,
+            group: self.group,
+            detector: self.detector.clone_box(),
+        }
+    }
 }
 
 impl ConfiguredDetector {
     /// `"<name> (<params>)"` — e.g. `"TSD MAD (win=5 week(s))"`.
     pub fn label(&self) -> String {
         format!("{} ({})", self.detector.name(), self.detector.config())
+    }
+
+    /// [`Detector::observe`] with the framework severity clamp applied —
+    /// the single choke point every extraction path (offline, online,
+    /// batched) goes through, so they cannot drift.
+    pub fn observe_clamped(&mut self, timestamp: i64, value: Option<f64>) -> Option<f64> {
+        crate::clamp_severity(self.detector.observe(timestamp, value))
+    }
+
+    /// [`Detector::observe_batch`] with the framework severity clamp
+    /// applied to every output slot.
+    pub fn observe_batch_clamped(
+        &mut self,
+        timestamps: &[i64],
+        values: &[Option<f64>],
+        out: &mut [Option<f64>],
+    ) {
+        self.detector.observe_batch(timestamps, values, out);
+        for slot in out.iter_mut() {
+            *slot = crate::clamp_severity(*slot);
+        }
     }
 }
 
@@ -38,46 +77,77 @@ pub const CONFIG_COUNT: usize = 133;
 /// Builds the full Table 3 registry for a KPI sampled at `interval`
 /// seconds. Order is deterministic; indices are stable across calls.
 pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
-    let mut out: Vec<Box<dyn Detector>> = Vec::with_capacity(CONFIG_COUNT);
+    // (group, detector); each independent detector is its own group, the
+    // three band views of one wavelet filter bank share a group.
+    let mut out: Vec<(usize, Box<dyn Detector>)> = Vec::with_capacity(CONFIG_COUNT);
+    let mut next_group = 0usize;
+    fn push(out: &mut Vec<(usize, Box<dyn Detector>)>, group: &mut usize, d: Box<dyn Detector>) {
+        out.push((*group, d));
+        *group += 1;
+    }
 
     // Simple threshold [24] — 1 configuration.
-    out.push(Box::new(SimpleThreshold::new()));
+    push(&mut out, &mut next_group, Box::new(SimpleThreshold::new()));
 
     // Diff — last-slot, last-day, last-week.
     for lag in [DiffLag::LastSlot, DiffLag::LastDay, DiffLag::LastWeek] {
-        out.push(Box::new(Diff::new(lag, interval)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(Diff::new(lag, interval)),
+        );
     }
 
     // Simple MA [4], weighted MA [11], MA of diff — win = 10..50 points.
     for win in [10usize, 20, 30, 40, 50] {
-        out.push(Box::new(SimpleMa::new(win)));
+        push(&mut out, &mut next_group, Box::new(SimpleMa::new(win)));
     }
     for win in [10usize, 20, 30, 40, 50] {
-        out.push(Box::new(WeightedMa::new(win)));
+        push(&mut out, &mut next_group, Box::new(WeightedMa::new(win)));
     }
     for win in [10usize, 20, 30, 40, 50] {
-        out.push(Box::new(MaOfDiff::new(win)));
+        push(&mut out, &mut next_group, Box::new(MaOfDiff::new(win)));
     }
 
     // EWMA [11] — alpha = 0.1, 0.3, 0.5, 0.7, 0.9.
     for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        out.push(Box::new(EwmaDetector::new(alpha)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(EwmaDetector::new(alpha)),
+        );
     }
 
     // TSD [1] and TSD MAD — win = 1..5 weeks.
     for weeks in 1..=5usize {
-        out.push(Box::new(Tsd::new(weeks, false, interval)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(Tsd::new(weeks, false, interval)),
+        );
     }
     for weeks in 1..=5usize {
-        out.push(Box::new(Tsd::new(weeks, true, interval)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(Tsd::new(weeks, true, interval)),
+        );
     }
 
     // Historical average [5] and historical MAD — win = 1..5 weeks.
     for weeks in 1..=5usize {
-        out.push(Box::new(HistoricalAverage::new(weeks, false, interval)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(HistoricalAverage::new(weeks, false, interval)),
+        );
     }
     for weeks in 1..=5usize {
-        out.push(Box::new(HistoricalAverage::new(weeks, true, interval)));
+        push(
+            &mut out,
+            &mut next_group,
+            Box::new(HistoricalAverage::new(weeks, true, interval)),
+        );
     }
 
     // Holt–Winters [6] — alpha, beta, gamma in {0.2, 0.4, 0.6, 0.8}³ = 64.
@@ -85,9 +155,11 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
     for alpha in grid {
         for beta in grid {
             for gamma in grid {
-                out.push(Box::new(HoltWintersDetector::new(
-                    alpha, beta, gamma, interval,
-                )));
+                push(
+                    &mut out,
+                    &mut next_group,
+                    Box::new(HoltWintersDetector::new(alpha, beta, gamma, interval)),
+                );
             }
         }
     }
@@ -95,24 +167,39 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
     // SVD [7] — row = 10..50 points, column = 3, 5, 7 → 15.
     for rows in [10usize, 20, 30, 40, 50] {
         for cols in [3usize, 5, 7] {
-            out.push(Box::new(SvdDetector::new(rows, cols)));
+            push(
+                &mut out,
+                &mut next_group,
+                Box::new(SvdDetector::new(rows, cols)),
+            );
         }
     }
 
-    // Wavelet [12] — win = 3, 5, 7 days × low/mid/high → 9.
+    // Wavelet [12] — win = 3, 5, 7 days × low/mid/high → 9. The three
+    // bands of one window share a filter bank (one scheduling group).
     for win_days in [3usize, 5, 7] {
-        for band in [Band::Low, Band::Mid, Band::High] {
-            out.push(Box::new(WaveletDetector::new(win_days, band, interval)));
+        let views = WaveletDetector::banked(win_days, interval);
+        for view in views {
+            out.push((next_group, Box::new(view)));
         }
+        next_group += 1;
     }
 
     // ARIMA [10] — one configuration, estimated from data.
-    out.push(Box::new(ArimaDetector::new(interval)));
+    push(
+        &mut out,
+        &mut next_group,
+        Box::new(ArimaDetector::new(interval)),
+    );
 
     debug_assert_eq!(out.len(), CONFIG_COUNT);
     out.into_iter()
         .enumerate()
-        .map(|(index, detector)| ConfiguredDetector { index, detector })
+        .map(|(index, (group, detector))| ConfiguredDetector {
+            index,
+            group,
+            detector,
+        })
         .collect()
 }
 
@@ -177,6 +264,59 @@ mod tests {
         let reg = registry(300);
         for (i, c) in reg.iter().enumerate() {
             assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn groups_are_contiguous_and_wavelets_share_banks() {
+        let reg = registry(300);
+        // Groups are nondecreasing and never skip.
+        let mut prev = 0usize;
+        for c in &reg {
+            assert!(c.group == prev || c.group == prev + 1, "gap at {}", c.index);
+            prev = c.group;
+        }
+        // Exactly the 3 wavelet band triples are multi-member groups.
+        let mut sizes: HashMap<usize, usize> = HashMap::new();
+        for c in &reg {
+            *sizes.entry(c.group).or_default() += 1;
+        }
+        let multi: Vec<usize> = sizes.values().copied().filter(|&n| n > 1).collect();
+        assert_eq!(multi, vec![3, 3, 3]);
+        for c in &reg {
+            if sizes[&c.group] > 1 {
+                assert_eq!(c.detector.name(), "wavelet");
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_registry_entries_continue_identically() {
+        let mut reg = registry(3600);
+        for i in 0..(24 * 2) {
+            let ts = i * 3600;
+            for c in reg.iter_mut() {
+                let _ = c.detector.observe(ts, Some(100.0 + (i % 24) as f64));
+            }
+        }
+        let mut clones: Vec<ConfiguredDetector> = reg.iter().map(Clone::clone).collect();
+        for i in (24 * 2)..(24 * 3) {
+            let ts = i * 3600;
+            let v = if i % 10 == 5 {
+                None
+            } else {
+                Some(100.0 + (i % 24) as f64)
+            };
+            for (c, k) in reg.iter_mut().zip(clones.iter_mut()) {
+                let a = c.detector.observe(ts, v);
+                let b = k.detector.observe(ts, v);
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "{} point {i}",
+                    c.label()
+                );
+            }
         }
     }
 

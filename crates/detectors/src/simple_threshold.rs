@@ -27,6 +27,10 @@ impl Detector for SimpleThreshold {
         value.map(|v| v.max(0.0))
     }
 
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "simple threshold"
     }

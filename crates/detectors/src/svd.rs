@@ -9,23 +9,44 @@
 //! Because a full SVD per point would be wasteful, the detector extracts
 //! only the dominant component with a short power iteration on the small
 //! `column × column` Gram matrix, warm-started from the previous point's
-//! right singular vector. The exact Jacobi SVD lives in
-//! `opprentice_numeric::svd` and anchors this approximation in tests.
+//! right singular vector. The Gram matrix itself is maintained
+//! *incrementally*: sliding the window by one point shifts every lag-matrix
+//! column down by one entry, which changes each Gram entry by exactly one
+//! dropped product and one gained product (an O(c²) update instead of the
+//! O(c²·r) rebuild), with a periodic full rebuild to re-anchor rounding
+//! drift. The exact Jacobi SVD lives in `opprentice_numeric::svd` and
+//! anchors this approximation in tests.
 
 use crate::Detector;
-use std::collections::VecDeque;
 
 /// Power-iteration steps per point (warm-started, so few are needed).
 const POWER_STEPS: usize = 4;
+
+/// Slides between full Gram rebuilds from the window. The incremental
+/// updates accumulate rounding drift of order `ε · |G|` per slide; the
+/// amortized rebuild cost at this cadence is negligible.
+const GRAM_REFRESH: usize = 64;
 
 /// The SVD reconstruction-residual detector.
 #[derive(Debug, Clone)]
 pub struct SvdDetector {
     rows: usize,
     cols: usize,
-    window: VecDeque<f64>,
+    /// Ring buffer of window contents. Grows to `rows × cols` during
+    /// warm-up, then stays fixed: the logical window (column-major, oldest
+    /// first) starts at `start` and wraps, so sliding is one overwrite
+    /// instead of a memmove.
+    flat: Vec<f64>,
+    /// Ring offset: physical index of the logically oldest entry.
+    start: usize,
     /// Warm-start for the dominant right singular vector.
     v: Vec<f64>,
+    /// Gram matrix (`cols × cols`), maintained incrementally across slides.
+    gram: Vec<f64>,
+    /// Power-iteration vector scratch.
+    v_next: Vec<f64>,
+    /// Slides since `gram` was last rebuilt from `flat`.
+    gram_age: usize,
 }
 
 impl SvdDetector {
@@ -39,71 +60,154 @@ impl SvdDetector {
         Self {
             rows,
             cols,
-            window: VecDeque::with_capacity(rows * cols),
+            flat: Vec::with_capacity(rows * cols),
+            start: 0,
             v: vec![1.0 / (cols as f64).sqrt(); cols],
+            gram: vec![0.0; cols * cols],
+            v_next: vec![0.0; cols],
+            gram_age: 0,
         }
     }
 
-    /// Residual of the newest entry against the rank-1 approximation.
-    #[allow(clippy::needless_range_loop)] // explicit indices keep the Gram algebra readable
-    fn rank1_residual(&mut self) -> f64 {
-        let (r, c) = (self.rows, self.cols);
-        let a = |i: usize, j: usize| self.window[j * r + i];
+    /// The window entry at logical index `k` (0 = oldest).
+    #[inline]
+    fn at(&self, k: usize) -> f64 {
+        let cap = self.flat.len();
+        let mut i = self.start + k;
+        if i >= cap {
+            i -= cap;
+        }
+        self.flat[i]
+    }
 
-        // Gram matrix G = AᵀA (c × c).
-        let mut g = vec![0.0; c * c];
+    /// Rebuilds `G = AᵀA` from the window and resets the drift clock.
+    fn rebuild_gram(&mut self) {
+        let (r, c) = (self.rows, self.cols);
         for j1 in 0..c {
             for j2 in j1..c {
                 let mut dot = 0.0;
                 for i in 0..r {
-                    dot += a(i, j1) * a(i, j2);
+                    dot += self.at(j1 * r + i) * self.at(j2 * r + i);
                 }
-                g[j1 * c + j2] = dot;
-                g[j2 * c + j1] = dot;
+                self.gram[j1 * c + j2] = dot;
+                self.gram[j2 * c + j1] = dot;
             }
         }
+        self.gram_age = 0;
+    }
 
-        // Power iteration on G, warm-started from the previous v.
-        let mut v = self.v.clone();
-        for _ in 0..POWER_STEPS {
-            let mut next = vec![0.0; c];
-            for (j1, n) in next.iter_mut().enumerate() {
-                for j2 in 0..c {
-                    *n += g[j1 * c + j2] * v[j2];
+    /// Slides the full window by one point, updating the Gram matrix in
+    /// O(c²). Dropping the oldest entry and appending `v` shifts every
+    /// lag-matrix column down by one, so each Gram entry loses exactly one
+    /// product and gains one:
+    /// `G'[j1,j2] = G[j1,j2] − A₀(j1)·A₀(j2) + ext(j1·r+r)·ext(j2·r+r)`
+    /// where `A₀(j)` is the entry leaving column `j` (logical index `j·r`)
+    /// and `ext(k)` is `v` at the one-past-the-end index, the logical
+    /// window entry otherwise.
+    fn slide(&mut self, v: f64) {
+        let (r, c) = (self.rows, self.cols);
+        let cap = r * c;
+        if self.gram_age < GRAM_REFRESH {
+            // Per column j: the entry leaving (logical j·r) and the entry
+            // arriving from the next column's head (logical (j+1)·r, which
+            // for the last column is the incoming value itself).
+            let mut leave = [0.0f64; 8];
+            let mut enter = [0.0f64; 8];
+            for j in 0..c {
+                leave[j] = self.at(j * r);
+                enter[j] = if j + 1 == c { v } else { self.at((j + 1) * r) };
+            }
+            for j1 in 0..c {
+                for j2 in j1..c {
+                    let delta = enter[j1] * enter[j2] - leave[j1] * leave[j2];
+                    self.gram[j1 * c + j2] += delta;
+                    if j1 != j2 {
+                        self.gram[j2 * c + j1] += delta;
+                    }
                 }
             }
-            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        }
+        // The oldest slot becomes the newest entry; the logical window
+        // rotates by advancing `start`.
+        self.flat[self.start] = v;
+        self.start += 1;
+        if self.start == cap {
+            self.start = 0;
+        }
+        if self.gram_age >= GRAM_REFRESH {
+            self.rebuild_gram();
+        } else {
+            self.gram_age += 1;
+        }
+    }
+
+    /// Residual of the newest entry against the rank-1 approximation.
+    /// Assumes `flat` and `gram` are current.
+    #[allow(clippy::needless_range_loop)] // explicit indices keep the algebra readable
+    fn rank1_residual(&mut self) -> f64 {
+        let (r, c) = (self.rows, self.cols);
+
+        // Power iteration on G, warm-started from the previous v. On a
+        // stationary stretch the warm start is already the fixed point, so
+        // bail out as soon as an iteration stops moving v — regime changes
+        // still get the full step budget.
+        for _ in 0..POWER_STEPS {
+            for (j1, n) in self.v_next.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for j2 in 0..c {
+                    acc += self.gram[j1 * c + j2] * self.v[j2];
+                }
+                *n = acc;
+            }
+            let norm = self.v_next.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < 1e-300 {
                 // Degenerate (all-zero) window: fall back to uniform.
-                next = vec![1.0 / (c as f64).sqrt(); c];
+                self.v_next.fill(1.0 / (c as f64).sqrt());
             } else {
-                for x in &mut next {
+                for x in &mut self.v_next {
                     *x /= norm;
                 }
             }
-            v = next;
+            let moved = self
+                .v
+                .iter()
+                .zip(&self.v_next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            std::mem::swap(&mut self.v, &mut self.v_next);
+            if moved < 1e-12 {
+                break;
+            }
         }
-        self.v.clone_from(&v);
 
         // u σ = A v; the rank-1 approximation of entry (i, j) is (Av)_i v_j.
         let mut av_last = 0.0; // (A v) at the last row
         for j in 0..c {
-            av_last += a(r - 1, j) * v[j];
+            av_last += self.at(j * r + r - 1) * self.v[j];
         }
-        let approx = av_last * v[c - 1];
-        (a(r - 1, c - 1) - approx).abs()
+        let approx = av_last * self.v[c - 1];
+        (self.at(c * r - 1) - approx).abs()
     }
 }
 
 impl Detector for SvdDetector {
     fn observe(&mut self, _timestamp: i64, value: Option<f64>) -> Option<f64> {
         let v = value?;
-        self.window.push_back(v);
         let cap = self.rows * self.cols;
-        if self.window.len() > cap {
-            self.window.pop_front();
+        if self.flat.len() < cap {
+            self.flat.push(v);
+            if self.flat.len() < cap {
+                return None;
+            }
+            self.rebuild_gram();
+        } else {
+            self.slide(v);
         }
-        (self.window.len() == cap).then(|| self.rank1_residual())
+        Some(self.rank1_residual())
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

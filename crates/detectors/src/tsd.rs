@@ -11,9 +11,8 @@
 //! patch "can improve the robustness to missing data and outliers" (§5.2).
 
 use crate::Detector;
-use opprentice_numeric::stats;
+use opprentice_numeric::rolling::SortedWindow;
 use opprentice_timeseries::slot_of_week;
-use std::collections::VecDeque;
 
 /// How many residuals back the spread estimate looks.
 const RESIDUAL_WINDOW: usize = 2016;
@@ -29,9 +28,9 @@ pub struct Tsd {
     robust: bool,
     interval: u32,
     /// Per-slot-of-week value history (up to `weeks` entries each).
-    per_slot: Vec<VecDeque<f64>>,
+    per_slot: Vec<SortedWindow>,
     /// Recent residuals for the spread estimate.
-    residuals: VecDeque<f64>,
+    residuals: SortedWindow,
     spread: f64,
     since_refresh: usize,
 }
@@ -50,22 +49,21 @@ impl Tsd {
             weeks,
             robust,
             interval,
-            per_slot: vec![VecDeque::new(); ppw],
-            residuals: VecDeque::with_capacity(RESIDUAL_WINDOW),
+            per_slot: vec![SortedWindow::new(weeks); ppw],
+            residuals: SortedWindow::new(RESIDUAL_WINDOW),
             spread: 0.0,
             since_refresh: 0,
         }
     }
 
     fn refresh_spread(&mut self) {
-        let xs: Vec<f64> = self.residuals.iter().copied().collect();
         let raw = if self.robust {
-            stats::mad(&xs).unwrap_or(0.0)
+            self.residuals.mad().unwrap_or(0.0)
         } else {
-            stats::std_dev(&xs).unwrap_or(0.0)
+            self.residuals.std_dev().unwrap_or(0.0)
         };
         // Floor the spread so severities stay finite on ultra-regular data.
-        let scale = xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let scale = self.residuals.max_abs();
         self.spread = raw.max(1e-9 * (1.0 + scale));
     }
 }
@@ -75,19 +73,15 @@ impl Detector for Tsd {
         let slot = slot_of_week(timestamp, self.interval);
         let v = value?;
 
-        let history = &self.per_slot[slot];
+        let history = &mut self.per_slot[slot];
         let severity = if !history.is_empty() {
-            let xs: Vec<f64> = history.iter().copied().collect();
             let baseline = if self.robust {
-                stats::median(&xs).expect("non-empty history")
+                history.median().expect("non-empty history")
             } else {
-                stats::mean(&xs).expect("non-empty history")
+                history.mean().expect("non-empty history")
             };
             let residual = v - baseline;
-            self.residuals.push_back(residual);
-            if self.residuals.len() > RESIDUAL_WINDOW {
-                self.residuals.pop_front();
-            }
+            self.residuals.push(residual);
             self.since_refresh += 1;
             if self.spread == 0.0 || self.since_refresh >= SPREAD_REFRESH {
                 self.refresh_spread();
@@ -98,12 +92,12 @@ impl Detector for Tsd {
             None
         };
 
-        let history = &mut self.per_slot[slot];
-        history.push_back(v);
-        if history.len() > self.weeks {
-            history.pop_front();
-        }
+        self.per_slot[slot].push(v);
         severity
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -15,10 +15,18 @@
 //!
 //! The severity is the band value normalized by a running MAD of recent
 //! band values, so each band reads in robust sigmas.
+//!
+//! The three bands of one window length read the *same* moving averages, so
+//! the registry's 9 wavelet configurations share 3 [`FilterBank`]s (one per
+//! `win_days`): each bank advances once per point and hands all three band
+//! values to its views. Band views of one bank must therefore see points in
+//! lockstep — the extraction layer keeps registry-mates on one thread (see
+//! `ConfiguredDetector::group`).
 
 use crate::Detector;
-use opprentice_numeric::stats;
+use opprentice_numeric::rolling::SortedWindow;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// Which frequency band the configuration extracts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,55 +88,55 @@ impl RunningMa {
     }
 }
 
-/// The streaming wavelet-band detector.
+/// The moving-average filter bank shared by the three band views of one
+/// window length. Advances once per point; the per-point band triple is
+/// cached so sibling views read it without recomputation.
 #[derive(Debug, Clone)]
-pub struct WaveletDetector {
-    win_days: usize,
-    band: Band,
+struct FilterBank {
+    /// Index of the last point fed in (0 = nothing yet).
+    seq: u64,
     short: RunningMa,
     medium: RunningMa,
     long: RunningMa,
-    band_history: VecDeque<f64>,
-    spread: f64,
-    since_refresh: usize,
+    /// `[low, mid, high]` for point `seq`; `None` while warming up or when
+    /// the point was missing.
+    bands: Option<[f64; 3]>,
 }
 
-impl WaveletDetector {
-    /// Creates the detector at the given sampling interval. The long window
-    /// is `win_days` days; the short and medium windows are fixed dyadic
-    /// fractions of a day (capped to stay meaningful at coarse intervals).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `win_days == 0`.
-    pub fn new(win_days: usize, band: Band, interval: u32) -> Self {
-        assert!(win_days > 0, "win_days must be positive");
+impl FilterBank {
+    fn new(win_days: usize, interval: u32) -> Self {
         let ppd = (86_400 / i64::from(interval)) as usize;
         let short = (ppd / 64).clamp(2, 32);
         let medium = (ppd / 8).clamp(short + 1, 512);
         let long = (win_days * ppd).max(medium + 1);
         Self {
-            win_days,
-            band,
+            seq: 0,
             short: RunningMa::new(short),
             medium: RunningMa::new(medium),
             long: RunningMa::new(long),
-            band_history: VecDeque::with_capacity(SPREAD_WINDOW),
-            spread: 0.0,
-            since_refresh: 0,
+            bands: None,
         }
     }
 
-    fn refresh_spread(&mut self) {
-        let xs: Vec<f64> = self.band_history.iter().copied().collect();
-        let raw = stats::mad(&xs).unwrap_or(0.0);
-        let scale = xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
-        self.spread = raw.max(1e-9 * (1.0 + scale));
-    }
-}
-
-impl Detector for WaveletDetector {
-    fn observe(&mut self, _timestamp: i64, value: Option<f64>) -> Option<f64> {
+    /// Feeds point `seq` (idempotent: sibling views call this with the same
+    /// `seq` and only the first call advances the filters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views desynchronize (a view skipped a point or ran
+    /// ahead by more than one) — the extraction layer's grouping guarantee
+    /// was violated.
+    fn advance(&mut self, seq: u64, value: Option<f64>) -> Option<[f64; 3]> {
+        if seq == self.seq {
+            return self.bands;
+        }
+        assert_eq!(
+            seq,
+            self.seq + 1,
+            "wavelet band views desynchronized (grouping violated)"
+        );
+        self.seq = seq;
+        self.bands = None;
         let v = value?;
         self.short.push(v);
         self.medium.push(v);
@@ -136,21 +144,119 @@ impl Detector for WaveletDetector {
         if !self.long.full() {
             return None;
         }
-        let band_value = match self.band {
-            Band::High => v - self.short.mean(),
-            Band::Mid => self.short.mean() - self.medium.mean(),
-            Band::Low => self.medium.mean() - self.long.mean(),
-        };
-        self.band_history.push_back(band_value);
-        if self.band_history.len() > SPREAD_WINDOW {
-            self.band_history.pop_front();
+        let high = v - self.short.mean();
+        let mid = self.short.mean() - self.medium.mean();
+        let low = self.medium.mean() - self.long.mean();
+        self.bands = Some([low, mid, high]);
+        self.bands
+    }
+}
+
+/// The streaming wavelet-band detector.
+#[derive(Debug)]
+pub struct WaveletDetector {
+    win_days: usize,
+    band: Band,
+    /// Shared with the sibling band views of the same window length (or
+    /// private, for a standalone detector).
+    bank: Arc<Mutex<FilterBank>>,
+    /// This view's point counter, kept in lockstep with the bank's.
+    seq: u64,
+    band_history: SortedWindow,
+    spread: f64,
+    since_refresh: usize,
+}
+
+impl Clone for WaveletDetector {
+    /// Deep-copies the filter bank: a clone continues independently from
+    /// the clone point and never shares state with the original (or with
+    /// the original's sibling views).
+    fn clone(&self) -> Self {
+        let bank = self.bank.lock().expect("wavelet bank poisoned").clone();
+        Self {
+            win_days: self.win_days,
+            band: self.band,
+            bank: Arc::new(Mutex::new(bank)),
+            seq: self.seq,
+            band_history: self.band_history.clone(),
+            spread: self.spread,
+            since_refresh: self.since_refresh,
         }
+    }
+}
+
+impl WaveletDetector {
+    /// Creates a standalone detector (private filter bank) at the given
+    /// sampling interval. The long window is `win_days` days; the short and
+    /// medium windows are fixed dyadic fractions of a day (capped to stay
+    /// meaningful at coarse intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win_days == 0`.
+    pub fn new(win_days: usize, band: Band, interval: u32) -> Self {
+        assert!(win_days > 0, "win_days must be positive");
+        let bank = Arc::new(Mutex::new(FilterBank::new(win_days, interval)));
+        Self::with_bank(win_days, band, bank)
+    }
+
+    /// The three band views of one window length, sharing a single filter
+    /// bank (3 moving averages instead of 9). The views must observe every
+    /// point in lockstep; the registry marks them as one scheduling group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win_days == 0`.
+    pub fn banked(win_days: usize, interval: u32) -> [WaveletDetector; 3] {
+        assert!(win_days > 0, "win_days must be positive");
+        let bank = Arc::new(Mutex::new(FilterBank::new(win_days, interval)));
+        [Band::Low, Band::Mid, Band::High]
+            .map(|band| Self::with_bank(win_days, band, Arc::clone(&bank)))
+    }
+
+    fn with_bank(win_days: usize, band: Band, bank: Arc<Mutex<FilterBank>>) -> Self {
+        Self {
+            win_days,
+            band,
+            bank,
+            seq: 0,
+            band_history: SortedWindow::new(SPREAD_WINDOW),
+            spread: 0.0,
+            since_refresh: 0,
+        }
+    }
+
+    fn refresh_spread(&mut self) {
+        let raw = self.band_history.mad().unwrap_or(0.0);
+        let scale = self.band_history.max_abs();
+        self.spread = raw.max(1e-9 * (1.0 + scale));
+    }
+}
+
+impl Detector for WaveletDetector {
+    fn observe(&mut self, _timestamp: i64, value: Option<f64>) -> Option<f64> {
+        self.seq += 1;
+        let bands = self
+            .bank
+            .lock()
+            .expect("wavelet bank poisoned")
+            .advance(self.seq, value)?;
+        let band_value = match self.band {
+            Band::Low => bands[0],
+            Band::Mid => bands[1],
+            Band::High => bands[2],
+        };
+        self.band_history.push(band_value);
         self.since_refresh += 1;
         if self.spread == 0.0 || self.since_refresh >= SPREAD_REFRESH {
             self.refresh_spread();
             self.since_refresh = 0;
         }
         (self.band_history.len() >= MIN_SPREAD_SAMPLES).then(|| band_value.abs() / self.spread)
+    }
+
+    fn clone_box(&self) -> Box<dyn Detector> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -222,8 +328,61 @@ mod tests {
     #[test]
     fn bands_have_increasing_window_order() {
         let d = WaveletDetector::new(3, Band::Mid, 3600);
-        assert!(d.short.len < d.medium.len);
-        assert!(d.medium.len < d.long.len);
+        let bank = d.bank.lock().unwrap();
+        assert!(bank.short.len < bank.medium.len);
+        assert!(bank.medium.len < bank.long.len);
+    }
+
+    #[test]
+    fn banked_views_match_standalone_detectors_bit_for_bit() {
+        let mut banked = WaveletDetector::banked(3, 3600);
+        let mut standalone: Vec<WaveletDetector> = [Band::Low, Band::Mid, Band::High]
+            .into_iter()
+            .map(|b| WaveletDetector::new(3, b, 3600))
+            .collect();
+        for i in 0..(24 * 6) {
+            let ts = i * 3600;
+            let v = if i % 13 == 7 { None } else { Some(signal(i)) };
+            for (shared, private) in banked.iter_mut().zip(standalone.iter_mut()) {
+                let a = shared.observe(ts, v);
+                let b = private.observe(ts, v);
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "point {i} band {:?}",
+                    private.band
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_view_detaches_from_the_shared_bank() {
+        let [mut low, mut mid, _high] = WaveletDetector::banked(3, 3600);
+        for i in 0..(24 * 4) {
+            let ts = i * 3600;
+            low.observe(ts, Some(signal(i)));
+            mid.observe(ts, Some(signal(i)));
+        }
+        let mut mid_clone = mid.clone();
+        // The original pair advances; the clone stays at the clone point
+        // and then continues independently — identical outputs.
+        for i in (24 * 4)..(24 * 5) {
+            let ts = i * 3600;
+            low.observe(ts, Some(signal(i)));
+            let a = mid.observe(ts, Some(signal(i)));
+            let b = mid_clone.observe(ts, Some(signal(i)));
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "point {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "desynchronized")]
+    fn desynchronized_views_panic() {
+        let [mut low, mut mid, _high] = WaveletDetector::banked(3, 3600);
+        low.observe(0, Some(1.0));
+        low.observe(3600, Some(1.0));
+        mid.observe(0, Some(1.0)); // mid skipped a point the bank consumed
     }
 
     #[test]

@@ -94,6 +94,55 @@ pub fn yule_walker(xs: &[f64], p: usize) -> Option<(Vec<f64>, f64)> {
     Some((phi[1..=p].to_vec(), v.max(0.0)))
 }
 
+/// Yule–Walker AR coefficients for several orders from one Durbin–Levinson
+/// sweep. `orders` must be sorted ascending, deduplicated, and ≥ 1; the
+/// result holds the AR coefficients (lags `1..=order`) per requested order.
+///
+/// The recursion at step `k` only consumes `rho[0..=k]`, so snapshotting a
+/// single sweep at each requested order is **bit-identical** to calling
+/// [`yule_walker`] once per order — at one ACF pass instead of one per
+/// order (the ARIMA grid search's stage-1 fits share this sweep).
+///
+/// # Panics
+///
+/// Panics if `orders` is not strictly ascending or contains 0.
+pub fn yule_walker_at(xs: &[f64], orders: &[usize]) -> Option<Vec<Vec<f64>>> {
+    assert!(
+        orders.windows(2).all(|w| w[0] < w[1]) && orders.first() != Some(&0),
+        "orders must be strictly ascending and nonzero"
+    );
+    let &max_p = orders.iter().max()?;
+    let rho = acf(xs, max_p)?;
+    if rho.len() <= max_p {
+        return None;
+    }
+    let mut out = Vec::with_capacity(orders.len());
+    let mut phi = vec![0.0; max_p + 1];
+    let mut tmp = vec![0.0; max_p + 1];
+    let mut next = 0usize;
+    phi[1] = rho[1];
+    if orders[next] == 1 {
+        out.push(phi[1..=1].to_vec());
+        next += 1;
+    }
+    for k in 2..=max_p {
+        let num = rho[k] - (1..k).map(|j| phi[j] * rho[k - j]).sum::<f64>();
+        let den_terms: f64 = (1..k).map(|j| phi[j] * rho[j]).sum();
+        let den = 1.0 - den_terms;
+        let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        for j in 1..k {
+            tmp[j] = phi[j] - phi_kk * phi[k - j];
+        }
+        tmp[k] = phi_kk;
+        phi[1..=k].copy_from_slice(&tmp[1..=k]);
+        if next < orders.len() && orders[next] == k {
+            out.push(phi[1..=k].to_vec());
+            next += 1;
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +214,20 @@ mod tests {
         assert!((phi[0] - 0.6).abs() < 0.06);
         assert!(phi[1].abs() < 0.06);
         assert!(phi[2].abs() < 0.06);
+    }
+
+    #[test]
+    fn yule_walker_at_matches_individual_fits_bit_for_bit() {
+        let xs = ar1_series(0.6, 3000);
+        let orders = [1usize, 3, 7, 12];
+        let multi = yule_walker_at(&xs, &orders).unwrap();
+        for (&p, got) in orders.iter().zip(&multi) {
+            let (solo, _) = yule_walker(&xs, p).unwrap();
+            assert_eq!(got.len(), p);
+            for (a, b) in got.iter().zip(&solo) {
+                assert_eq!(a.to_bits(), b.to_bits(), "order {p}");
+            }
+        }
     }
 
     #[test]

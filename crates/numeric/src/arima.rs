@@ -14,8 +14,8 @@
 //!    lagged residuals),
 //! 4. [`ArimaState`] applies the fitted model online, point at a time.
 
-use crate::acf::yule_walker;
-use crate::matrix::{least_squares, Matrix};
+use crate::acf::{yule_walker, yule_walker_at};
+use crate::matrix::{solve, Matrix};
 use std::collections::VecDeque;
 
 /// Model orders `(p, d, q)`.
@@ -85,22 +85,23 @@ pub fn select_d(xs: &[f64]) -> usize {
     best_d
 }
 
-/// Fits ARIMA(p, d, q) by Hannan–Rissanen. Returns `None` when the data is
-/// too short or the regression is degenerate.
-pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
-    if xs.iter().any(|x| !x.is_finite()) {
-        return None;
-    }
-    let w = difference(xs, order.d);
-    let (p, q) = (order.p, order.q);
-    let k = p.max(q);
-    if w.len() < 4 * (k + 1).max(8) {
-        return None;
-    }
+/// The long-AR order stage 1 of Hannan–Rissanen uses for a `(p, q)`
+/// candidate on a differenced series of length `n`.
+fn stage1_long_order(p: usize, q: usize, n: usize) -> usize {
+    ((2 * (p + q)) + 5).min(n / 4)
+}
 
-    // Stage 1: long AR to proxy innovations.
-    let long_order = ((2 * (p + q)) + 5).min(w.len() / 4);
-    let (long_ar, _) = yule_walker(&w, long_order)?;
+/// Stage 1 of Hannan–Rissanen: a long AR fit whose residuals proxy the
+/// unobserved innovations. Depends only on `(w, long_order)`, so
+/// [`auto_fit`] computes it once per distinct `long_order` instead of once
+/// per `(p, q)` candidate.
+fn stage1_innovations(w: &[f64], long_order: usize) -> Option<Vec<f64>> {
+    let (long_ar, _) = yule_walker(w, long_order)?;
+    Some(stage1_innovations_with(w, long_order, &long_ar))
+}
+
+/// The innovation-proxy residuals given an already-fitted long AR.
+fn stage1_innovations_with(w: &[f64], long_order: usize, long_ar: &[f64]) -> Vec<f64> {
     let w_mean = w.iter().sum::<f64>() / w.len() as f64;
     let mut resid = vec![0.0; w.len()];
     for t in long_order..w.len() {
@@ -110,27 +111,80 @@ pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
         }
         resid[t] = w[t] - pred;
     }
+    resid
+}
 
-    // Stage 2: regress w_t on 1, w_{t-1..t-p}, e_{t-1..t-q}.
+/// Fits ARIMA(p, d, q) by Hannan–Rissanen. Returns `None` when the data is
+/// too short or the regression is degenerate.
+pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    let w = difference(xs, order.d);
+    let k = order.p.max(order.q);
+    if w.len() < 4 * (k + 1).max(8) {
+        return None;
+    }
+    let long_order = stage1_long_order(order.p, order.q, w.len());
+    let resid = stage1_innovations(&w, long_order)?;
+    fit_stage2(&w, &resid, long_order, order)
+}
+
+/// Stage 2 of Hannan–Rissanen: least squares of `w_t` on its own lags and
+/// the stage-1 innovation lags.
+fn fit_stage2(
+    w: &[f64],
+    resid: &[f64],
+    long_order: usize,
+    order: ArimaOrder,
+) -> Option<ArimaModel> {
+    let (p, q) = (order.p, order.q);
+    let k = p.max(q);
+
+    // Stage 2: regress w_t on 1, w_{t-1..t-p}, e_{t-1..t-q}. The design
+    // matrix is never materialized: each row is assembled in a small stack
+    // buffer and folded straight into XᵀX / Xᵀy (upper triangle, mirrored),
+    // exactly the sums `least_squares` would compute — bit-identical, but
+    // without allocating and re-reading a `rows × cols` matrix per
+    // candidate.
     let start = long_order + k;
     let rows = w.len() - start;
     if rows < (p + q + 1) * 3 {
         return None;
     }
     let cols = 1 + p + q;
-    let mut x = Matrix::zeros(rows, cols);
-    let mut y = Vec::with_capacity(rows);
-    for (r, t) in (start..w.len()).enumerate() {
-        x.set(r, 0, 1.0);
+    let mut row = [0.0f64; 7]; // 1 + p + q with p, q ≤ 3
+    let fill_row = |row: &mut [f64; 7], t: usize| {
+        row[0] = 1.0;
         for i in 0..p {
-            x.set(r, 1 + i, w[t - 1 - i]);
+            row[1 + i] = w[t - 1 - i];
         }
         for j in 0..q {
-            x.set(r, 1 + p + j, resid[t - 1 - j]);
+            row[1 + p + j] = resid[t - 1 - j];
         }
-        y.push(w[t]);
+    };
+    let mut xtx = vec![0.0f64; cols * cols];
+    let mut xty = vec![0.0f64; cols];
+    for t in start..w.len() {
+        fill_row(&mut row, t);
+        let yr = w[t];
+        for i in 0..cols {
+            let xi = row[i];
+            for j in i..cols {
+                xtx[i * cols + j] += xi * row[j];
+            }
+            xty[i] += xi * yr;
+        }
     }
-    let beta = least_squares(&x, &y)?;
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        // Tiny ridge keeps near-collinear regressors solvable (matches
+        // `least_squares`).
+        xtx[i * cols + i] += 1e-8;
+    }
+    let beta = solve(&Matrix::from_rows(cols, cols, xtx), &xty)?;
     if beta.iter().any(|b| !b.is_finite()) {
         return None;
     }
@@ -140,10 +194,10 @@ pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
 
     // Innovation variance from the stage-2 fit residuals.
     let mut sse = 0.0;
-    for (r, t) in (start..w.len()).enumerate() {
-        let pred: f64 = x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum();
+    for t in start..w.len() {
+        fill_row(&mut row, t);
+        let pred: f64 = row[..cols].iter().zip(&beta).map(|(a, b)| a * b).sum();
         sse += (w[t] - pred) * (w[t] - pred);
-        let _ = t;
     }
     let sigma2 = (sse / rows as f64).max(1e-300);
     Some(ArimaModel {
@@ -159,19 +213,51 @@ pub fn fit(xs: &[f64], order: ArimaOrder) -> Option<ArimaModel> {
 /// minimization, `(p, q) ∈ [0, 3]²` (not both zero) by AIC. Returns `None`
 /// when nothing fits.
 pub fn auto_fit(xs: &[f64]) -> Option<ArimaModel> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
     let d = select_d(xs);
-    let w_len = difference(xs, d).len() as f64;
-    let mut best: Option<(f64, ArimaModel)> = None;
+    let w = difference(xs, d);
+    let w_len = w.len() as f64;
+    // Stage 1 depends only on the long-AR order, and the 15 `(p, q)`
+    // candidates share just 6 distinct values of it: one Durbin–Levinson
+    // sweep serves every order, and one innovation-proxy pass serves every
+    // candidate sharing a long order. Both reuses are bit-identical to
+    // calling `fit` per candidate.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    let mut orders: Vec<usize> = Vec::new();
     for p in 0..=3usize {
         for q in 0..=3usize {
             if p == 0 && q == 0 {
                 continue;
             }
-            if let Some(model) = fit(xs, ArimaOrder { p, d, q }) {
-                let aic = w_len * model.sigma2.ln() + 2.0 * (p + q + 1) as f64;
-                if best.as_ref().is_none_or(|(b, _)| aic < *b) {
-                    best = Some((aic, model));
-                }
+            let k = p.max(q);
+            if w.len() < 4 * (k + 1).max(8) {
+                continue;
+            }
+            let long_order = stage1_long_order(p, q, w.len());
+            candidates.push((p, q, long_order));
+            if !orders.contains(&long_order) {
+                orders.push(long_order);
+            }
+        }
+    }
+    orders.sort_unstable();
+    let long_ars = yule_walker_at(&w, &orders)?;
+    let resids: Vec<Vec<f64>> = orders
+        .iter()
+        .zip(&long_ars)
+        .map(|(&lo, ar)| stage1_innovations_with(&w, lo, ar))
+        .collect();
+    let mut best: Option<(f64, ArimaModel)> = None;
+    for (p, q, long_order) in candidates {
+        let resid = &resids[orders
+            .binary_search(&long_order)
+            .expect("order was collected")];
+        if let Some(model) = fit_stage2(&w, resid, long_order, ArimaOrder { p, d, q }) {
+            let aic = w_len * model.sigma2.ln() + 2.0 * (p + q + 1) as f64;
+            if best.as_ref().is_none_or(|(b, _)| aic < *b) {
+                best = Some((aic, model));
             }
         }
     }

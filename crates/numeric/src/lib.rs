@@ -6,6 +6,8 @@
 //! crate implements the required numerical machinery from scratch:
 //!
 //! * [`stats`] — means, medians, MAD, quantiles and Welford online moments,
+//! * [`rolling`] — sliding-window order statistics (lazy sorted ring) for
+//!   the allocation-free extraction hot path,
 //! * [`matrix`] — a small dense matrix with linear solves,
 //! * [`svd`] — one-sided Jacobi singular value decomposition,
 //! * [`wavelet`] — Haar multiresolution analysis with band reconstruction,
@@ -34,6 +36,7 @@ pub mod acf;
 pub mod arima;
 pub mod decompose;
 pub mod matrix;
+pub mod rolling;
 pub mod smoothing;
 pub mod stats;
 pub mod stl;

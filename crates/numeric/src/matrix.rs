@@ -188,16 +188,31 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
 /// Panics if `y.len() != x.rows()`.
 pub fn least_squares(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
     assert_eq!(y.len(), x.rows(), "dimension mismatch");
-    let xt = x.transpose();
-    let mut xtx = xt.matmul(x);
-    let p = xtx.rows();
-    // Tiny ridge keeps near-collinear detector features solvable.
-    for i in 0..p {
-        let v = xtx.get(i, i);
-        xtx.set(i, i, v + 1e-8);
+    let p = x.cols();
+    // Accumulate the upper triangle of XᵀX and all of Xᵀy in one streaming
+    // pass over the rows of X: half the products of a transpose-and-matmul,
+    // no transposed copy, and sequential row-major access. The row-ascending
+    // accumulation order makes every entry bit-identical to the naive
+    // `Xᵀ · X` formulation.
+    let mut xtx = vec![0.0f64; p * p];
+    let mut xty = vec![0.0f64; p];
+    for (r, &yr) in y.iter().enumerate() {
+        let row = x.row(r);
+        for (i, &xi) in row.iter().enumerate() {
+            for (j, &xj) in row.iter().enumerate().skip(i) {
+                xtx[i * p + j] += xi * xj;
+            }
+            xty[i] += xi * yr;
+        }
     }
-    let xty = xt.matvec(y);
-    solve(&xtx, &xty)
+    for i in 0..p {
+        for j in 0..i {
+            xtx[i * p + j] = xtx[j * p + i];
+        }
+        // Tiny ridge keeps near-collinear detector features solvable.
+        xtx[i * p + i] += 1e-8;
+    }
+    solve(&Matrix::from_rows(p, p, xtx), &xty)
 }
 
 #[cfg(test)]

@@ -1,0 +1,422 @@
+//! Sliding-window order statistics for the extraction hot path.
+//!
+//! The MAD-family detectors (TSD MAD, historical MAD, wavelet) need the
+//! median / MAD / max-|x| of a bounded trailing window on every point or
+//! every spread refresh. Re-collecting and re-sorting the window each time
+//! — what the first implementation did — costs `O(n log n)` per query and
+//! one allocation per point. [`SortedWindow`] keeps the window *both* in
+//! arrival order (a ring, for running-moment queries that must match the
+//! arrival-order summation of [`crate::stats`]) and in sorted order (for
+//! order statistics), maintained lazily: pushes go to pending lists and are
+//! merged into the sorted array only when a query needs it, in
+//! `O(n + k log k)` for `k` pending updates and no steady-state allocation.
+//!
+//! Every query is **bit-identical** to the naive recompute it replaces:
+//!
+//! * [`SortedWindow::median`] returns exactly `stats::median(&collected)`
+//!   (same middle elements, same two-middle average) — up to the sign of
+//!   zero when the window mixes `-0.0` and `0.0` (they compare equal, so
+//!   which representative lands on the middle index depends on merge
+//!   history; the values are numerically identical and every detector use
+//!   passes the median through a subtraction + `abs`, so severities are
+//!   unaffected),
+//! * [`SortedWindow::mad`] returns exactly `stats::mad(&collected)` — the
+//!   deviations `|x − median|` over sorted data form two monotone runs
+//!   (decreasing left of the median, increasing right of it), so their
+//!   median is found by a two-pointer merge walk without materializing or
+//!   sorting the deviation vector,
+//! * [`SortedWindow::max_abs`] equals
+//!   `collected.iter().map(|x| x.abs()).fold(0.0, f64::max)` — on sorted
+//!   data the maximum magnitude sits at one of the two ends,
+//! * [`SortedWindow::mean`] / [`SortedWindow::std_dev`] iterate the ring in
+//!   arrival order, reproducing `stats::mean` / `stats::std_dev` on the
+//!   collected window term for term (float addition is order-sensitive, so
+//!   sorted-order summation would *not* be bit-identical).
+//!
+//! `NaN` must not be pushed; the detector layer filters missing points.
+
+use std::collections::VecDeque;
+
+/// A bounded sliding window with O(1)/O(n) order-statistic queries.
+///
+/// Pushing beyond the capacity evicts the oldest value. All query methods
+/// are bit-identical to collecting the window into a `Vec` (arrival order)
+/// and calling the corresponding [`crate::stats`] function.
+#[derive(Debug, Clone, Default)]
+pub struct SortedWindow {
+    cap: usize,
+    /// Arrival-order view.
+    ring: VecDeque<f64>,
+    /// Sorted view, valid once pending updates are merged.
+    sorted: Vec<f64>,
+    /// Values pushed since the last merge.
+    pending_add: Vec<f64>,
+    /// Values evicted since the last merge.
+    pending_remove: Vec<f64>,
+    /// Reused merge output buffer.
+    merge_buf: Vec<f64>,
+}
+
+impl SortedWindow {
+    /// An empty window holding at most `cap` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "window capacity must be positive");
+        Self {
+            cap,
+            ..Self::default()
+        }
+    }
+
+    /// Number of values currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when the window holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The oldest value, if any.
+    pub fn front(&self) -> Option<f64> {
+        self.ring.front().copied()
+    }
+
+    /// Pushes a value, evicting the oldest if the window is full.
+    ///
+    /// `v` must not be `NaN` (order statistics are undefined on NaN; this
+    /// mirrors the panic the `stats` sorts would raise).
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "NaN pushed into SortedWindow");
+        self.ring.push_back(v);
+        self.pending_add.push(v);
+        if self.ring.len() > self.cap {
+            let old = self.ring.pop_front().expect("non-empty after push");
+            self.pending_remove.push(old);
+        }
+    }
+
+    /// The values in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.ring.iter().copied()
+    }
+
+    /// Arrival-order arithmetic mean; `None` when empty. Bit-identical to
+    /// `stats::mean` over the collected window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        Some(self.ring.iter().sum::<f64>() / self.ring.len() as f64)
+    }
+
+    /// Arrival-order population standard deviation; `None` when empty.
+    /// Bit-identical to `stats::std_dev` over the collected window.
+    pub fn std_dev(&self) -> Option<f64> {
+        let m = self.mean()?;
+        let var = self.ring.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.ring.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Merges pending pushes/evictions into the sorted view.
+    fn ensure_sorted(&mut self) {
+        if self.pending_add.is_empty() && self.pending_remove.is_empty() {
+            return;
+        }
+        let pending = self.pending_add.len() + self.pending_remove.len();
+        if pending >= self.sorted.len() {
+            // More churn than content: rebuild from the ring outright.
+            self.sorted.clear();
+            self.sorted.extend(self.ring.iter().copied());
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in SortedWindow"));
+            self.pending_add.clear();
+            self.pending_remove.clear();
+            return;
+        }
+
+        let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in SortedWindow");
+        self.pending_add.sort_by(cmp);
+        self.pending_remove.sort_by(cmp);
+
+        // Cancel values that were pushed and evicted between queries; the
+        // window is a multiset, so value-level cancellation is exact.
+        {
+            let (add, rem) = (&mut self.pending_add, &mut self.pending_remove);
+            let (mut i, mut j, mut wi, mut wj) = (0, 0, 0, 0);
+            while i < add.len() && j < rem.len() {
+                if add[i] == rem[j] {
+                    i += 1;
+                    j += 1;
+                } else if add[i] < rem[j] {
+                    add[wi] = add[i];
+                    wi += 1;
+                    i += 1;
+                } else {
+                    rem[wj] = rem[j];
+                    wj += 1;
+                    j += 1;
+                }
+            }
+            while i < add.len() {
+                add[wi] = add[i];
+                wi += 1;
+                i += 1;
+            }
+            while j < rem.len() {
+                rem[wj] = rem[j];
+                wj += 1;
+                j += 1;
+            }
+            add.truncate(wi);
+            rem.truncate(wj);
+        }
+
+        // One pass: drop removed values, weave surviving additions in.
+        self.merge_buf.clear();
+        let (add, rem) = (&self.pending_add, &self.pending_remove);
+        let (mut ai, mut ri) = (0, 0);
+        for &x in &self.sorted {
+            debug_assert!(ri == rem.len() || rem[ri] >= x, "unmatched eviction");
+            if ri < rem.len() && rem[ri] == x {
+                ri += 1;
+                continue;
+            }
+            while ai < add.len() && add[ai] <= x {
+                self.merge_buf.push(add[ai]);
+                ai += 1;
+            }
+            self.merge_buf.push(x);
+        }
+        debug_assert_eq!(ri, rem.len(), "eviction of a value not in the window");
+        self.merge_buf.extend_from_slice(&add[ai..]);
+        std::mem::swap(&mut self.sorted, &mut self.merge_buf);
+        self.pending_add.clear();
+        self.pending_remove.clear();
+    }
+
+    /// Median; `None` when empty. Bit-identical to `stats::median` over the
+    /// collected window.
+    pub fn median(&mut self) -> Option<f64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        Some(if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+        })
+    }
+
+    /// Median absolute deviation × 1.4826 (the Gaussian-consistent scale);
+    /// `None` when empty. Bit-identical to `stats::mad` over the collected
+    /// window, computed allocation-free: over sorted values the deviations
+    /// `|x − median|` form a decreasing run (left of the median) and an
+    /// increasing run (right of it), so the deviation median falls out of a
+    /// two-pointer merge walk.
+    pub fn mad(&mut self) -> Option<f64> {
+        let med = self.median()?;
+        let s = &self.sorted;
+        let n = s.len();
+        let split = s.partition_point(|&x| x < med);
+
+        let (target_lo, target_hi) = ((n - 1) / 2, n / 2);
+        let (mut lo, mut hi) = (split, split);
+        let (mut dev_lo, mut dev_hi) = (0.0, 0.0);
+        for idx in 0..=target_hi {
+            // Next-smallest deviation from either run. `(x − med).abs()` on
+            // both sides to stay bit-faithful to the naive deviation vector.
+            let d = match (lo > 0, hi < n) {
+                (true, true) => {
+                    let l = (s[lo - 1] - med).abs();
+                    let r = (s[hi] - med).abs();
+                    if l <= r {
+                        lo -= 1;
+                        l
+                    } else {
+                        hi += 1;
+                        r
+                    }
+                }
+                (true, false) => {
+                    lo -= 1;
+                    (s[lo] - med).abs()
+                }
+                (false, true) => {
+                    let r = (s[hi] - med).abs();
+                    hi += 1;
+                    r
+                }
+                (false, false) => unreachable!("ran out of deviations"),
+            };
+            if idx == target_lo {
+                dev_lo = d;
+            }
+            if idx == target_hi {
+                dev_hi = d;
+            }
+        }
+        let raw = if n % 2 == 1 {
+            dev_hi
+        } else {
+            (dev_lo + dev_hi) / 2.0
+        };
+        Some(raw * 1.4826)
+    }
+
+    /// Maximum magnitude, 0.0 when empty. Bit-identical to
+    /// `window.iter().map(|x| x.abs()).fold(0.0, f64::max)`.
+    pub fn max_abs(&mut self) -> f64 {
+        if self.ring.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let first = self.sorted[0].abs();
+        let last = self.sorted[self.sorted.len() - 1].abs();
+        first.max(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    /// Deterministic xorshift values in a modest range, with duplicates.
+    fn pseudo_stream(n: usize) -> Vec<f64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Quantize so exact duplicates occur regularly.
+                ((state % 2000) as f64 - 1000.0) / 8.0
+            })
+            .collect()
+    }
+
+    fn collected(w: &SortedWindow) -> Vec<f64> {
+        w.iter().collect()
+    }
+
+    #[test]
+    fn matches_stats_functions_bit_for_bit_under_churn() {
+        for cap in [1usize, 2, 3, 7, 64] {
+            let mut w = SortedWindow::new(cap);
+            for (i, v) in pseudo_stream(400).into_iter().enumerate() {
+                w.push(v);
+                // Query at irregular strides so pushes batch up between
+                // merges (the lazy path) and also back-to-back (k = 1).
+                if i % 5 == 0 || i % 7 == 0 {
+                    let xs = collected(&w);
+                    assert_eq!(w.len(), xs.len());
+                    assert_eq!(
+                        w.median().map(f64::to_bits),
+                        stats::median(&xs).map(f64::to_bits),
+                        "median cap={cap} i={i}"
+                    );
+                    assert_eq!(
+                        w.mad().map(f64::to_bits),
+                        stats::mad(&xs).map(f64::to_bits),
+                        "mad cap={cap} i={i}"
+                    );
+                    assert_eq!(
+                        w.mean().map(f64::to_bits),
+                        stats::mean(&xs).map(f64::to_bits),
+                        "mean cap={cap} i={i}"
+                    );
+                    assert_eq!(
+                        w.std_dev().map(f64::to_bits),
+                        stats::std_dev(&xs).map(f64::to_bits),
+                        "std_dev cap={cap} i={i}"
+                    );
+                    let naive = xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+                    assert_eq!(w.max_abs().to_bits(), naive.to_bits(), "max_abs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_only_the_newest_cap_values() {
+        let mut w = SortedWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(v);
+        }
+        assert_eq!(collected(&w), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.front(), Some(3.0));
+        assert_eq!(w.median(), Some(4.0));
+    }
+
+    #[test]
+    fn duplicate_values_cancel_correctly() {
+        // Push/evict the same value repeatedly between queries: the
+        // pending-cancellation path must keep multiset counts right.
+        let mut w = SortedWindow::new(4);
+        for _ in 0..3 {
+            w.push(7.0);
+        }
+        w.push(1.0);
+        assert_eq!(w.median(), Some(7.0));
+        for _ in 0..4 {
+            w.push(7.0); // evicts the three 7.0s and the 1.0
+        }
+        assert_eq!(w.median(), Some(7.0));
+        assert_eq!(w.mad(), Some(0.0));
+        w.push(-9.0);
+        w.push(-9.0);
+        assert_eq!(collected(&w), vec![7.0, 7.0, -9.0, -9.0]);
+        assert_eq!(w.median(), Some((-9.0 + 7.0) / 2.0));
+        assert_eq!(w.max_abs(), 9.0);
+    }
+
+    #[test]
+    fn empty_window_queries() {
+        let mut w = SortedWindow::new(5);
+        assert!(w.is_empty());
+        assert_eq!(w.median(), None);
+        assert_eq!(w.mad(), None);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.std_dev(), None);
+        assert_eq!(w.max_abs(), 0.0);
+        assert_eq!(w.front(), None);
+    }
+
+    #[test]
+    fn capacity_one_window() {
+        let mut w = SortedWindow::new(1);
+        w.push(5.0);
+        w.push(-3.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.median(), Some(-3.0));
+        assert_eq!(w.mad(), Some(0.0));
+        assert_eq!(w.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = SortedWindow::new(8);
+        for v in pseudo_stream(20) {
+            a.push(v);
+        }
+        let _ = a.median(); // force a merge so clone copies a mixed state
+        let mut b = a.clone();
+        let before = a.median();
+        b.push(1e6);
+        assert_eq!(a.median(), before);
+        assert_ne!(b.max_abs(), a.max_abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SortedWindow::new(0);
+    }
+}

@@ -136,13 +136,12 @@ impl Session {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
-                let interval = i64::from(p.interval());
                 let mut out = String::with_capacity(values.len() * 32);
-                for (i, v) in values.iter().enumerate() {
+                for (i, verdict) in p.observe_batch(*start, values).into_iter().enumerate() {
                     if i > 0 {
                         out.push('|');
                     }
-                    push_verdict(&mut out, p.observe(start + i as i64 * interval, *v));
+                    push_verdict(&mut out, verdict);
                 }
                 Response::Ok(out)
             }
@@ -166,13 +165,17 @@ impl Session {
                 }
             }
             Request::Status => match self.pipeline.as_ref() {
-                None => Response::Ok("observed=0 labeled=0 trained=0".into()),
+                None => {
+                    Response::Ok("observed=0 labeled=0 trained=0 extract_us=0 infer_us=0".into())
+                }
                 Some(p) => Response::Ok(format!(
-                    "observed={} labeled={} trained={} cthld={:.3}",
+                    "observed={} labeled={} trained={} cthld={:.3} extract_us={} infer_us={}",
                     p.observed_len(),
                     p.labeled_len(),
                     u8::from(p.is_trained()),
-                    p.current_cthld()
+                    p.current_cthld(),
+                    p.extract_us(),
+                    p.infer_us()
                 )),
             },
             Request::Quit => Response::Bye,
@@ -644,10 +647,9 @@ mod tests {
         let mut c = Client::connect(handle.addr());
 
         assert!(c.send("HELLO 3600").starts_with("OK opprentice"));
-        assert_eq!(
-            c.send("STATUS"),
-            "OK observed=0 labeled=0 trained=0 cthld=0.500"
-        );
+        assert!(c
+            .send("STATUS")
+            .starts_with("OK observed=0 labeled=0 trained=0 cthld=0.500 extract_us="));
 
         // Stream 21 days of hourly data with a spike every 63 hours.
         let n = 21 * 24;
@@ -708,6 +710,50 @@ mod tests {
         singles.send("QUIT");
         batched.send("QUIT");
         fresh.send("QUIT");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// STATUS exposes the session's cumulative extraction and inference
+    /// wall-clock, so operators can see where serving time goes.
+    #[test]
+    fn status_reports_cumulative_timing_counters() {
+        let (handle, join) = start_server(test_config());
+        let mut c = Client::connect(handle.addr());
+
+        // Before HELLO the counters exist and are zero.
+        assert_eq!(
+            c.send("STATUS"),
+            "OK observed=0 labeled=0 trained=0 extract_us=0 infer_us=0"
+        );
+        assert!(c.send("HELLO 60").starts_with("OK"));
+
+        fn counter(status: &str, key: &str) -> u64 {
+            status
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix(key))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no {key} in {status}"))
+        }
+
+        // Feeding points advances the extraction counter monotonically.
+        for i in 0..64 {
+            assert!(c
+                .send(&format!("OBS {} {}.0", i * 60, 100 + i % 7))
+                .starts_with("OK"));
+        }
+        let status = c.send("STATUS");
+        let after_obs = counter(&status, "extract_us=");
+        assert!(after_obs > 0, "{status}");
+
+        let batch: Vec<String> = (0..64).map(|i| format!("{}.0", 100 + i % 5)).collect();
+        assert!(c
+            .send(&format!("OBSB {} {}", 64 * 60, batch.join(" ")))
+            .starts_with("OK"));
+        let status = c.send("STATUS");
+        assert!(counter(&status, "extract_us=") > after_obs, "{status}");
+
+        c.send("QUIT");
         handle.shutdown();
         join.join().unwrap();
     }
@@ -778,14 +824,12 @@ mod tests {
         assert!(b.send("OBS 0 1.0").starts_with("ERR"));
         assert!(b.send("HELLO 300").starts_with("OK"));
         a.send("OBS 0 5.0");
-        assert_eq!(
-            a.send("STATUS"),
-            "OK observed=1 labeled=0 trained=0 cthld=0.500"
-        );
-        assert_eq!(
-            b.send("STATUS"),
-            "OK observed=0 labeled=0 trained=0 cthld=0.500"
-        );
+        assert!(a
+            .send("STATUS")
+            .starts_with("OK observed=1 labeled=0 trained=0 cthld=0.500 extract_us="));
+        assert!(b
+            .send("STATUS")
+            .starts_with("OK observed=0 labeled=0 trained=0 cthld=0.500 extract_us="));
         a.send("QUIT");
         b.send("QUIT");
         handle.shutdown();

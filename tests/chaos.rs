@@ -418,10 +418,10 @@ fn panic_takes_down_one_connection_not_the_server() {
     assert_eq!(crasher.read_line().unwrap(), ""); // crasher is disconnected
 
     // The bystander's session kept its state; new clients are welcome.
-    assert_eq!(
-        bystander.send("STATUS").unwrap(),
-        "OK observed=1 labeled=0 trained=0 cthld=0.500"
-    );
+    assert!(bystander
+        .send("STATUS")
+        .unwrap()
+        .starts_with("OK observed=1 labeled=0 trained=0 cthld=0.500 extract_us="));
     let mut fresh = Client::connect(handle.addr()).expect("connect");
     assert!(fresh.send("HELLO 60").unwrap().starts_with("OK"));
     fresh.send("QUIT").unwrap();
