@@ -17,6 +17,9 @@ use std::path::PathBuf;
 pub struct ProtocolClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The most recent asynchronous `EVENT` line (without the prefix),
+    /// e.g. a background-retrain completion notice.
+    last_event: Option<String>,
 }
 
 impl ProtocolClient {
@@ -27,21 +30,54 @@ impl ProtocolClient {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            last_event: None,
         })
     }
 
-    /// Sends one request line, returns the response line.
+    /// Sends one request line, returns the response line. Asynchronous
+    /// `EVENT` lines (a background retrain completing) may precede the
+    /// response; they are recorded, not returned.
     pub fn send(&mut self, line: &str) -> Result<String, String> {
         self.writer
             .write_all(line.as_bytes())
             .map_err(|e| e.to_string())?;
         self.writer.write_all(b"\n").map_err(|e| e.to_string())?;
         self.writer.flush().map_err(|e| e.to_string())?;
-        let mut out = String::new();
-        if self.reader.read_line(&mut out).map_err(|e| e.to_string())? == 0 {
-            return Err("server closed the connection".to_string());
+        loop {
+            let mut out = String::new();
+            if self.reader.read_line(&mut out).map_err(|e| e.to_string())? == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            let reply = out.trim_end();
+            if let Some(event) = reply.strip_prefix("EVENT ") {
+                self.last_event = Some(event.to_string());
+                continue;
+            }
+            return Ok(reply.to_string());
         }
-        Ok(out.trim_end().to_string())
+    }
+
+    /// Takes the most recent `EVENT` notice, if one has arrived.
+    pub fn take_event(&mut self) -> Option<String> {
+        self.last_event.take()
+    }
+
+    /// Blocks until no retrain job is in flight. `RETRAIN` is
+    /// asynchronous — the reply only acknowledges submission — so the
+    /// replay polls `STATUS` before sending the next week's labels (which
+    /// the server rejects while a job is training).
+    pub fn wait_trained(&mut self) -> Result<String, String> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+        loop {
+            let status = self.expect_ok("STATUS")?;
+            if status.contains(" training=0") {
+                return Ok(status);
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(format!("retrain never completed: {status}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
     }
 
     /// Sends and fails unless the reply starts with `OK`.
@@ -87,7 +123,9 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         ))?;
     }
     client.expect_ok(&format!("LABEL {}", flags_of(0..bootstrap)))?;
-    let trained = client.expect_ok("RETRAIN")?;
+    let submitted = client.expect_ok("RETRAIN")?;
+    client.wait_trained()?;
+    let trained = client.take_event().unwrap_or(submitted);
     println!("bootstrapped on {train_weeks} weeks: {trained}");
 
     // Live weeks: detect, then label + retrain at each week boundary.
@@ -110,10 +148,16 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         if week_done && i + 1 > week_start {
             client.expect_ok(&format!("LABEL {}", flags_of(week_start..i + 1)))?;
             let reply = client.send("RETRAIN")?;
+            let outcome = if reply.starts_with("OK") {
+                client.wait_trained()?;
+                client.take_event().unwrap_or(reply)
+            } else {
+                reply
+            };
             println!(
                 "week boundary at point {}: {} ({} alerts so far, {} correct)",
                 i + 1,
-                reply,
+                outcome,
                 alerts,
                 hits
             );

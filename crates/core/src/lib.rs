@@ -71,6 +71,6 @@ pub mod strategy;
 pub use cthld::{CthldMetric, Preference};
 pub use error::PipelineError;
 pub use features::{extract_features, FeatureMatrix};
-pub use pipeline::{Detection, Opprentice, OpprenticeConfig};
+pub use pipeline::{Detection, Opprentice, OpprenticeConfig, RetrainError, TrainingReport};
 pub use snapshot::{RecoveryError, SessionSnapshot, SnapshotError};
 pub use strategy::TrainingStrategy;

@@ -14,6 +14,7 @@ use crate::predictor::{five_fold_cthld, EwmaCthldPredictor};
 use opprentice_learn::metrics::pr_curve;
 use opprentice_learn::{Classifier, CompiledForest, RandomForest, RandomForestParams};
 use opprentice_timeseries::{Labels, TimeSeries};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Points per chunk when replaying history through the batch extractor.
@@ -54,6 +55,60 @@ pub struct Detection {
     pub is_anomaly: bool,
 }
 
+/// Why [`Opprentice::start_retrain`] refused to start a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainError {
+    /// A background retrain is already in flight; poll or wait for it.
+    AlreadyTraining,
+    /// No labeled anomalous sample exists yet — nothing to learn from.
+    NoLabeledAnomaly,
+}
+
+impl std::fmt::Display for RetrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrainError::AlreadyTraining => write!(f, "retrain already in progress"),
+            RetrainError::NoLabeledAnomaly => write!(f, "need at least one labeled anomaly"),
+        }
+    }
+}
+
+impl std::error::Error for RetrainError {}
+
+/// What a completed retrain installed — returned by
+/// [`Opprentice::poll_retrain`] / [`Opprentice::wait_retrain`] when the
+/// model swap lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingReport {
+    /// The job id [`Opprentice::start_retrain`] handed out.
+    pub job_id: u64,
+    /// The model version now serving (increments by one per swap).
+    pub model_version: u64,
+    /// The cThld in effect after the swap.
+    pub cthld: f64,
+    /// Wall-clock microseconds the job spent training.
+    pub train_us: u64,
+}
+
+/// An in-flight background training job.
+struct TrainingJob {
+    id: u64,
+    handle: JoinHandle<TrainOutcome>,
+}
+
+/// Everything a training job computes off-thread; installed atomically
+/// (from the observer's point of view) by the poll that lands it.
+struct TrainOutcome {
+    /// Best cThld of the latest labeled week under the *old* model.
+    best: Option<f64>,
+    /// 5-fold initialization value, computed only when the predictor would
+    /// otherwise still be uninitialized after applying `best`.
+    init: Option<f64>,
+    forest: RandomForest,
+    compiled: CompiledForest,
+    train_ns: u64,
+}
+
 /// The operators' apprentice: the end-to-end anomaly detection pipeline.
 pub struct Opprentice {
     config: OpprenticeConfig,
@@ -74,6 +129,19 @@ pub struct Opprentice {
     /// Cumulative wall-clock nanoseconds spent scoring (matrix append +
     /// forest prediction).
     infer_ns: u64,
+    /// Cumulative wall-clock nanoseconds spent training (sync and
+    /// background jobs, measured inside the job thread).
+    train_ns: u64,
+    /// Counts installed models: 0 = untrained, +1 per completed retrain
+    /// (or set directly when a snapshot is restored).
+    model_version: u64,
+    /// Monotonic job-id source for [`Opprentice::start_retrain`].
+    next_job_id: u64,
+    /// The in-flight background training job, if any. Dropping the
+    /// pipeline abandons the job: its thread finishes detached and the
+    /// result is discarded, which is exactly the crash semantics the
+    /// serving layer wants (a swap only exists once it was polled in).
+    job: Option<TrainingJob>,
 }
 
 impl Opprentice {
@@ -94,6 +162,10 @@ impl Opprentice {
             feat_buf: Vec::new(),
             extract_ns: 0,
             infer_ns: 0,
+            train_ns: 0,
+            model_version: 0,
+            next_job_id: 0,
+            job: None,
         }
     }
 
@@ -142,6 +214,25 @@ impl Opprentice {
         self.infer_ns / 1_000
     }
 
+    /// Cumulative wall-clock microseconds spent training over the
+    /// pipeline's lifetime (counted when a job lands, sync or background).
+    pub fn train_us(&self) -> u64 {
+        self.train_ns / 1_000
+    }
+
+    /// The serving model's version: 0 until the first training round, then
+    /// incremented by one on every installed retrain. A restored snapshot
+    /// carries its version, so a recovered session continues the count.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// `true` while a background retrain job is in flight (submitted and
+    /// not yet polled in — even if its thread has already finished).
+    pub fn training_in_flight(&self) -> bool {
+        self.job.is_some()
+    }
+
     /// The operator labels accumulated so far.
     pub fn labels(&self) -> &Labels {
         &self.truth
@@ -166,13 +257,20 @@ impl Opprentice {
     }
 
     /// Installs externally restored trained state (a decoded snapshot):
-    /// the classifier and the EWMA prediction. Observation and label state
-    /// are *not* touched — the caller rebuilds those by replaying the
-    /// write-ahead log, which is what keeps restored sessions scoring
-    /// identically to uninterrupted ones.
-    pub fn restore_trained_state(&mut self, forest: Option<RandomForest>, prediction: Option<f64>) {
+    /// the classifier, the EWMA prediction, and the model version the
+    /// snapshot was taken at. Observation and label state are *not*
+    /// touched — the caller rebuilds those by replaying the write-ahead
+    /// log, which is what keeps restored sessions scoring identically to
+    /// uninterrupted ones.
+    pub fn restore_trained_state(
+        &mut self,
+        forest: Option<RandomForest>,
+        prediction: Option<f64>,
+        model_version: u64,
+    ) {
         self.compiled = forest.as_ref().map(RandomForest::compile);
         self.forest = forest;
+        self.model_version = model_version;
         match prediction {
             Some(c) => self.predictor.initialize(c),
             None => self.predictor = EwmaCthldPredictor::new(self.config.cthld_alpha),
@@ -340,43 +438,168 @@ impl Opprentice {
     /// 3. on the very first training round, the prediction is initialized
     ///    by 5-fold cross-validation.
     ///
+    /// This synchronous call is [`Opprentice::start_retrain`] +
+    /// [`Opprentice::wait_retrain`] — the exact machinery the background
+    /// path uses, so sync and async retraining are bit-identical by
+    /// construction. An already in-flight background job is waited for (and
+    /// installed) first.
+    ///
     /// Returns `false` when there is not yet enough labeled data (no
     /// anomalous sample at all).
     pub fn retrain(&mut self) -> bool {
+        self.wait_retrain();
+        match self.start_retrain() {
+            Ok(_) => self.wait_retrain().is_some(),
+            Err(_) => false,
+        }
+    }
+
+    /// Submits a background training job over a snapshot of the labeled
+    /// data taken *now*; [`Opprentice::observe`] / [`Opprentice::observe_batch`]
+    /// keep serving the current model (and cThld) until a later
+    /// [`Opprentice::poll_retrain`] or [`Opprentice::wait_retrain`] installs
+    /// the result. Returns the job id.
+    ///
+    /// Labels ingested after submission do not affect the job (it trains on
+    /// the snapshot), and neither do new observations — which is what makes
+    /// the swap well-defined: the trained model depends only on the labeled
+    /// prefix at submission time.
+    ///
+    /// # Errors
+    ///
+    /// [`RetrainError::AlreadyTraining`] if a job is in flight;
+    /// [`RetrainError::NoLabeledAnomaly`] if the labeled data holds no
+    /// anomalous sample (the week's best-cThld harvest — step 1 — is still
+    /// applied in that case, matching the synchronous semantics).
+    pub fn start_retrain(&mut self) -> Result<u64, RetrainError> {
+        if self.job.is_some() {
+            return Err(RetrainError::AlreadyTraining);
+        }
         let labeled = self.truth.len();
         let ppw = (7 * 86_400 / i64::from(self.interval)) as usize;
+        let week_start = labeled.saturating_sub(ppw);
+        let old = self.compiled.clone();
 
-        // Step 1: harvest the best cThld of the latest labeled week.
-        if let Some(old) = &self.forest {
-            let week_start = labeled.saturating_sub(ppw);
-            let scores: Vec<Option<f64>> = (week_start..labeled)
-                .map(|i| self.matrix.usable(i).then(|| old.score(self.matrix.row(i))))
-                .collect();
-            let flags = &self.truth.flags()[week_start..labeled];
-            let curve = pr_curve(&scores, flags);
-            if let Some(best) = best_cthld(&curve, &self.config.preference) {
-                self.predictor.update(best);
-            }
-        }
-
-        // Step 2: retrain on everything labeled.
         let (ds, _) = self.matrix.dataset(&self.truth, 0..labeled);
         if ds.is_empty() || ds.positives() == 0 {
-            return false;
+            // Nothing to train on; still harvest the week's best cThld so
+            // the EWMA sees exactly what a synchronous round would apply.
+            if let Some(best) = self.harvest_week(&old, week_start, labeled) {
+                self.predictor.update(best);
+            }
+            return Err(RetrainError::NoLabeledAnomaly);
         }
-        let mut forest = RandomForest::new(self.config.forest.clone());
-        forest.fit(&ds);
 
-        // Step 3: initialize the prediction on the first round.
-        if self.predictor.predict().is_none() {
-            let c = five_fold_cthld(&ds, &self.config.preference, &self.config.forest);
-            self.predictor.initialize(c);
+        // Snapshot everything the job needs: the latest labeled week's
+        // rows (for the step-1 harvest under the old model) and the full
+        // labeled dataset. The old model is handed over as its compiled
+        // form, whose predictions are bit-identical to the tree walk.
+        let week_rows: Vec<Option<Vec<f64>>> = (week_start..labeled)
+            .map(|i| self.matrix.usable(i).then(|| self.matrix.row(i).to_vec()))
+            .collect();
+        let week_flags: Vec<bool> = self.truth.flags()[week_start..labeled].to_vec();
+        let preference = self.config.preference;
+        let params = self.config.forest.clone();
+        let has_prediction = self.predictor.predict().is_some();
+
+        self.next_job_id += 1;
+        let id = self.next_job_id;
+        let handle = std::thread::Builder::new()
+            .name(format!("retrain-{id}"))
+            .spawn(move || {
+                let t0 = Instant::now();
+                let best = old.as_ref().and_then(|old| {
+                    let scores: Vec<Option<f64>> = week_rows
+                        .iter()
+                        .map(|r| r.as_ref().map(|row| old.predict(row)))
+                        .collect();
+                    best_cthld(&pr_curve(&scores, &week_flags), &preference)
+                });
+                let mut forest = RandomForest::new(params.clone());
+                forest.fit(&ds);
+                // 5-fold initialization only when the predictor would still
+                // be empty after applying `best` (the first-round case).
+                let init = (!has_prediction && best.is_none())
+                    .then(|| five_fold_cthld(&ds, &preference, &params));
+                let compiled = forest.compile();
+                TrainOutcome {
+                    best,
+                    init,
+                    forest,
+                    compiled,
+                    train_ns: t0.elapsed().as_nanos() as u64,
+                }
+            })
+            .expect("spawn retrain thread");
+        self.job = Some(TrainingJob { id, handle });
+        Ok(id)
+    }
+
+    /// Installs a finished background job if one is ready; non-blocking.
+    /// Returns `None` while no job is in flight or the job is still
+    /// training. The swap — forest, compiled forest, cThld prediction,
+    /// model version — happens entirely inside this call, so observers
+    /// before it see the old model and observers after it see the new one;
+    /// there is no intermediate state.
+    pub fn poll_retrain(&mut self) -> Option<TrainingReport> {
+        if !self.job.as_ref()?.handle.is_finished() {
+            return None;
         }
-        // Compile once per retrain; every online prediction until the next
-        // round is served from the flattened arena.
-        self.compiled = Some(forest.compile());
-        self.forest = Some(forest);
-        true
+        self.land_job()
+    }
+
+    /// Blocks until the in-flight background job (if any) finishes, then
+    /// installs it. Returns `None` when no job was in flight.
+    pub fn wait_retrain(&mut self) -> Option<TrainingReport> {
+        self.job.as_ref()?;
+        self.land_job()
+    }
+
+    /// Joins the job thread and swaps its result in.
+    fn land_job(&mut self) -> Option<TrainingReport> {
+        let job = self.job.take()?;
+        // A panicked trainer (out of memory, poisoned data) must not take
+        // the serving model down with it: the old model keeps serving and
+        // the job simply evaporates.
+        let outcome = job.handle.join().ok()?;
+        if let Some(best) = outcome.best {
+            self.predictor.update(best);
+        }
+        if self.predictor.predict().is_none() {
+            if let Some(init) = outcome.init {
+                self.predictor.initialize(init);
+            }
+        }
+        self.compiled = Some(outcome.compiled);
+        self.forest = Some(outcome.forest);
+        self.model_version += 1;
+        self.train_ns += outcome.train_ns;
+        Some(TrainingReport {
+            job_id: job.id,
+            model_version: self.model_version,
+            cthld: self.current_cthld(),
+            train_us: outcome.train_ns / 1_000,
+        })
+    }
+
+    /// Step 1 of a retrain round, done synchronously: the best cThld of the
+    /// latest labeled week under the (compiled) old model.
+    fn harvest_week(
+        &self,
+        old: &Option<CompiledForest>,
+        week_start: usize,
+        labeled: usize,
+    ) -> Option<f64> {
+        let old = old.as_ref()?;
+        let scores: Vec<Option<f64>> = (week_start..labeled)
+            .map(|i| {
+                self.matrix
+                    .usable(i)
+                    .then(|| old.predict(self.matrix.row(i)))
+            })
+            .collect();
+        let flags = &self.truth.flags()[week_start..labeled];
+        best_cthld(&pr_curve(&scores, flags), &self.config.preference)
     }
 }
 
@@ -576,6 +799,97 @@ mod tests {
     }
 
     #[test]
+    fn background_retrain_is_bit_identical_to_sync() {
+        let (series, labels) = labeled_history(28);
+        let mut sync = Opprentice::new(INTERVAL, small_config());
+        let mut bg = Opprentice::new(INTERVAL, small_config());
+        sync.ingest_history(&series, &labels).unwrap();
+        bg.ingest_history(&series, &labels).unwrap();
+
+        assert!(sync.retrain());
+        let job = bg.start_retrain().unwrap();
+        let report = bg.wait_retrain().unwrap();
+        assert_eq!(report.job_id, job);
+        assert_eq!(report.model_version, 1);
+        assert_eq!(bg.model_version(), sync.model_version());
+        assert_eq!(bg.predicted_cthld(), sync.predicted_cthld());
+        assert_eq!(
+            bg.forest().unwrap().to_bytes(),
+            sync.forest().unwrap().to_bytes()
+        );
+        assert_eq!(bg.compiled_forest(), sync.compiled_forest());
+
+        let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
+        for (i, v) in [100.0, 400.0, 130.0, 85.0].into_iter().enumerate() {
+            let ts = t0 + i as i64 * i64::from(INTERVAL);
+            assert_eq!(sync.observe(ts, Some(v)), bg.observe(ts, Some(v)));
+        }
+    }
+
+    #[test]
+    fn observe_serves_the_old_model_until_the_swap_is_polled_in() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        let mut control = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels).unwrap();
+        control.ingest_history(&series, &labels).unwrap();
+        assert!(opp.retrain());
+        assert!(control.retrain());
+
+        // Submit a second round in the background; until it is polled in,
+        // verdicts must match a control that never retrained again — even
+        // if the job's thread has long finished.
+        opp.start_retrain().unwrap();
+        assert!(opp.training_in_flight());
+        let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
+        for (i, v) in [100.0, 400.0, 130.0].into_iter().enumerate() {
+            let ts = t0 + i as i64 * i64::from(INTERVAL);
+            assert_eq!(opp.observe(ts, Some(v)), control.observe(ts, Some(v)));
+        }
+        assert_eq!(opp.model_version(), 1);
+
+        let report = opp.wait_retrain().unwrap();
+        assert_eq!(report.model_version, 2);
+        assert_eq!(opp.model_version(), 2);
+        assert!(opp.train_us() > 0);
+    }
+
+    #[test]
+    fn second_submission_while_in_flight_is_rejected() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels).unwrap();
+        opp.start_retrain().unwrap();
+        assert_eq!(opp.start_retrain(), Err(RetrainError::AlreadyTraining));
+        assert!(opp.training_in_flight());
+        opp.wait_retrain().unwrap();
+        assert!(!opp.training_in_flight());
+    }
+
+    #[test]
+    fn start_retrain_without_positive_labels_errors() {
+        let mut series = TimeSeries::new(0, INTERVAL);
+        for i in 0..200 {
+            series.push(100.0 + (i % 24) as f64);
+        }
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &Labels::all_normal(200))
+            .unwrap();
+        assert_eq!(opp.start_retrain(), Err(RetrainError::NoLabeledAnomaly));
+        assert!(!opp.training_in_flight());
+        assert_eq!(opp.model_version(), 0);
+    }
+
+    #[test]
+    fn dropping_a_pipeline_abandons_the_job() {
+        let (series, labels) = labeled_history(28);
+        let mut opp = Opprentice::new(INTERVAL, small_config());
+        opp.ingest_history(&series, &labels).unwrap();
+        opp.start_retrain().unwrap();
+        drop(opp); // must not deadlock or panic; the job thread detaches
+    }
+
+    #[test]
     fn restore_trained_state_round_trips_through_accessors() {
         let (series, labels) = labeled_history(28);
         let mut opp = Opprentice::new(INTERVAL, small_config());
@@ -590,8 +904,9 @@ mod tests {
         fresh.ingest_history(&series, &labels).unwrap();
         let bytes = opp.forest().unwrap().to_bytes();
         let forest = RandomForest::from_bytes(&bytes).unwrap();
-        fresh.restore_trained_state(Some(forest), prediction);
+        fresh.restore_trained_state(Some(forest), prediction, opp.model_version());
         assert!(fresh.is_trained());
+        assert_eq!(fresh.model_version(), opp.model_version());
 
         let t0 = series.timestamp_at(series.len() - 1) + i64::from(INTERVAL);
         for (i, v) in [100.0, 400.0, 130.0].into_iter().enumerate() {

@@ -42,8 +42,13 @@ impl EwmaCthldPredictor {
     }
 
     /// Seeds the first prediction (the paper uses 5-fold cross-validation
-    /// on the first training set).
+    /// on the first training set). A non-finite seed carries no information
+    /// and is ignored — the prediction state is left untouched, so the
+    /// predictor can never hold a NaN.
     pub fn initialize(&mut self, cthld: f64) {
+        if !cthld.is_finite() {
+            return;
+        }
         self.prediction = Some(cthld.clamp(0.0, 1.0));
     }
 
@@ -54,8 +59,14 @@ impl EwmaCthldPredictor {
     }
 
     /// Folds in the best cThld of the week that just ended, producing the
-    /// next week's prediction.
+    /// next week's prediction. A non-finite input is ignored (NaN would
+    /// otherwise survive the clamp and poison every later prediction);
+    /// the current prediction — or the forest default 0.5 before
+    /// initialization — is returned unchanged in that case.
     pub fn update(&mut self, best_cthld: f64) -> f64 {
+        if !best_cthld.is_finite() {
+            return self.prediction.unwrap_or(0.5);
+        }
         let next = match self.prediction {
             None => best_cthld,
             Some(prev) => self.alpha * best_cthld + (1.0 - self.alpha) * prev,
@@ -180,6 +191,24 @@ mod tests {
         let mut p = EwmaCthldPredictor::new(1.0);
         p.update(5.0);
         assert_eq!(p.predict(), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_ignored() {
+        let mut p = EwmaCthldPredictor::paper();
+        for junk in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(p.update(junk), 0.5, "uninitialized fallback");
+            assert_eq!(p.predict(), None);
+            p.initialize(junk);
+            assert_eq!(p.predict(), None);
+        }
+        p.initialize(0.4);
+        for junk in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(p.update(junk), 0.4);
+            assert_eq!(p.predict(), Some(0.4));
+            p.initialize(junk);
+            assert_eq!(p.predict(), Some(0.4));
+        }
     }
 
     #[test]

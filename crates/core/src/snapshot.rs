@@ -1,28 +1,33 @@
-//! Durable snapshots of a full [`Opprentice`] session (OPRF v2).
+//! Durable snapshots of a full [`Opprentice`] session (OPRF v4).
 //!
-//! The learn crate's OPRF v1 format persists only the trained trees; a
+//! The learn crate's OPRF format persists only the trained trees; a
 //! crash-safe serving layer needs the *whole* trained state: the forest,
-//! the EWMA cThld prediction, the accumulated operator labels, and the
-//! configuration the session was created with. This module defines version
-//! 2 of the `OPRF` container capturing exactly that, plus the write-ahead
-//! log sequence number the snapshot corresponds to:
+//! the EWMA cThld prediction, the accumulated operator labels, the model
+//! version, and the configuration the session was created with. This
+//! module defines version 4 of the `OPRF` container capturing exactly
+//! that, plus the write-ahead log sequence number the snapshot corresponds
+//! to:
 //!
 //! ```text
-//! magic "OPRF" | version u16 = 2
+//! magic "OPRF" | version u16 = 4
 //! interval u32
 //! recall f64 | precision f64 | cthld_alpha f64 | fallback_cthld f64
 //! n_trees u32 | sample_fraction f64 | seed u64
 //! opt u8 (bit0 max_features, bit1 max_depth, bit2 n_bins) | [u32 each]
 //! prediction u8 | [f64]
-//! n_observed u64 | wal_seq u64
+//! n_observed u64 | wal_seq u64 | model_version u64
 //! n_labels u64 | ceil(n_labels/8) bytes, LSB-first
 //! forest u8 | [len u32 | OPRF forest bytes]
 //! ```
 //!
+//! (Session containers were v2 before `model_version` existed; v3 is
+//! skipped because the learn crate's forest container already uses it, and
+//! distinct numbers keep the two formats mutually rejecting.)
+//!
 //! All integers little-endian. Decoding validates the magic, version, every
 //! length against the bytes actually present (so hostile counts cannot
 //! drive huge allocations), and rejects trailing bytes. The forest decoder
-//! in `opprentice-learn` (currently OPRF v3) naturally rejects v2
+//! in `opprentice-learn` (currently OPRF v3) naturally rejects v4
 //! containers via its version check, and vice versa.
 //!
 //! Deliberately *not* captured: the detectors' sliding-window state and the
@@ -39,7 +44,7 @@ use opprentice_learn::{RandomForest, RandomForestParams};
 use opprentice_timeseries::Labels;
 
 const MAGIC: &[u8; 4] = b"OPRF";
-const VERSION: u16 = 2;
+const VERSION: u16 = 4;
 
 /// Errors produced when decoding or installing a session snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +53,7 @@ pub enum SnapshotError {
     Truncated,
     /// The magic bytes did not match.
     BadMagic,
-    /// The container version is not 2.
+    /// The container version is not 4.
     UnsupportedVersion(u16),
     /// Bytes remained after the last field.
     TrailingBytes(usize),
@@ -104,6 +109,8 @@ pub struct SessionSnapshot {
     pub n_observed: u64,
     /// Number of successfully applied WAL commands this snapshot covers.
     pub wal_seq: u64,
+    /// The serving model's version at snapshot time (0 = untrained).
+    pub model_version: u64,
     /// Operator labels at snapshot time.
     pub labels: Labels,
     /// The trained forest, as OPRF forest bytes (`None` if untrained).
@@ -123,6 +130,7 @@ impl SessionSnapshot {
             prediction: opp.predicted_cthld(),
             n_observed: opp.observed_len() as u64,
             wal_seq,
+            model_version: opp.model_version(),
             labels: opp.labels().clone(),
             forest: opp.forest().map(RandomForest::to_bytes),
         }
@@ -138,7 +146,7 @@ impl SessionSnapshot {
         }
     }
 
-    /// Serializes to the OPRF v2 container.
+    /// Serializes to the OPRF v4 container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -171,6 +179,7 @@ impl SessionSnapshot {
         }
         out.put_u64_le(self.n_observed);
         out.put_u64_le(self.wal_seq);
+        out.put_u64_le(self.model_version);
         let flags = self.labels.flags();
         out.put_u64_le(flags.len() as u64);
         for chunk in flags.chunks(8) {
@@ -191,7 +200,7 @@ impl SessionSnapshot {
         out
     }
 
-    /// Decodes an OPRF v2 container. Never panics on hostile input: every
+    /// Decodes an OPRF v4 container. Never panics on hostile input: every
     /// count is validated against the bytes actually present before any
     /// allocation, and trailing bytes are rejected.
     pub fn from_bytes(mut buf: &[u8]) -> Result<SessionSnapshot, SnapshotError> {
@@ -279,11 +288,12 @@ impl SessionSnapshot {
             _ => return Err(SnapshotError::BadField("prediction flag")),
         };
 
-        if buf.remaining() < 8 + 8 + 8 {
+        if buf.remaining() < 8 + 8 + 8 + 8 {
             return Err(SnapshotError::Truncated);
         }
         let n_observed = buf.get_u64_le();
         let wal_seq = buf.get_u64_le();
+        let model_version = buf.get_u64_le();
         let n_labels = buf.get_u64_le();
         // A u64 count can claim 2^61 packed bytes; bound it by what is
         // actually in the buffer before allocating anything.
@@ -337,6 +347,7 @@ impl SessionSnapshot {
             prediction,
             n_observed,
             wal_seq,
+            model_version,
             labels,
             forest,
         })
@@ -360,7 +371,7 @@ impl SessionSnapshot {
             Some(bytes) => Some(RandomForest::from_bytes(bytes)?),
             None => None,
         };
-        opp.restore_trained_state(forest, self.prediction);
+        opp.restore_trained_state(forest, self.prediction, self.model_version);
         Ok(())
     }
 }
@@ -438,6 +449,7 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.wal_seq, 673);
         assert_eq!(back.n_observed, opp.observed_len() as u64);
+        assert_eq!(back.model_version, 1);
     }
 
     #[test]
@@ -495,7 +507,7 @@ mod tests {
 
     #[test]
     fn forest_bytes_are_rejected_as_session_snapshots() {
-        // Forest files (OPRF v3) and session containers (OPRF v2) share
+        // Forest files (OPRF v3) and session containers (OPRF v4) share
         // the magic; the version field keeps them mutually rejecting.
         let opp = trained_pipeline();
         let forest_bytes = opp.forest().unwrap().to_bytes();
@@ -532,8 +544,8 @@ mod tests {
     fn hostile_label_count_cannot_allocate() {
         let opp = Opprentice::new(INTERVAL, OpprenticeConfig::default());
         let mut bytes = SessionSnapshot::capture(&opp, 0).to_bytes();
-        // n_labels sits 8 bytes after n_observed/wal_seq from the end:
-        // layout ends … n_observed u64 | wal_seq u64 | n_labels u64 | forest u8.
+        // n_labels sits right before the forest flag at the end: layout ends
+        // … wal_seq u64 | model_version u64 | n_labels u64 | forest u8.
         let n = bytes.len();
         bytes[n - 9..n - 1].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(SessionSnapshot::from_bytes(&bytes).is_err());

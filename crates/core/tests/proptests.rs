@@ -163,7 +163,92 @@ proptest! {
         mut bytes in prop::collection::vec(any::<u8>(), 6..800),
     ) {
         bytes[..4].copy_from_slice(b"OPRF");
-        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+        bytes[4..6].copy_from_slice(&4u16.to_le_bytes());
         let _ = opprentice::SessionSnapshot::from_bytes(&bytes);
     }
+}
+
+/// Any `f64` bit pattern: NaNs, infinities, subnormals, both zeros — the
+/// hostile end of the input space the EWMA predictor must absorb.
+fn any_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+proptest! {
+    /// The EWMA predictor is total over `f64`: any update input — NaN and
+    /// infinities included — leaves both the returned cThld and the stored
+    /// prediction inside [0, 1]. A NaN that slipped through would poison
+    /// every later prediction (NaN survives `clamp`) and with it every
+    /// verdict the serving layer emits.
+    #[test]
+    fn ewma_update_is_total_over_f64(
+        updates in prop::collection::vec(any_f64(), 0..60),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let mut p = EwmaCthldPredictor::new(alpha);
+        // Empty history: no prediction, and predicting is not an error.
+        prop_assert_eq!(p.predict(), None);
+        for &u in &updates {
+            let next = p.update(u);
+            prop_assert!((0.0..=1.0).contains(&next), "update({u}) returned {next}");
+            if let Some(pred) = p.predict() {
+                prop_assert!((0.0..=1.0).contains(&pred), "stored {pred} after update({u})");
+            }
+        }
+    }
+
+    /// Initialization is equally total: a non-finite seed is ignored, a
+    /// finite one lands clamped into [0, 1].
+    #[test]
+    fn ewma_initialize_is_total_over_f64(seed in any_f64(), follow in any_f64()) {
+        let mut p = EwmaCthldPredictor::paper();
+        p.initialize(seed);
+        if let Some(pred) = p.predict() {
+            prop_assert!((0.0..=1.0).contains(&pred), "initialize({seed}) stored {pred}");
+        }
+        let next = p.update(follow);
+        prop_assert!((0.0..=1.0).contains(&next));
+    }
+
+    /// A constant history is a fixpoint: the blend `α·c + (1−α)·c` leaves
+    /// the prediction at `c` for every α, up to float rounding.
+    #[test]
+    fn ewma_constant_history_is_a_fixpoint(
+        c in 0.0f64..=1.0,
+        alpha in 0.0f64..=1.0,
+        n in 1usize..30,
+    ) {
+        let mut p = EwmaCthldPredictor::new(alpha);
+        p.initialize(c);
+        for _ in 0..n {
+            p.update(c);
+        }
+        prop_assert!((p.predict().unwrap() - c).abs() < 1e-9);
+    }
+
+    /// Every α in [0, 1] constructs (the out-of-range and NaN cases are
+    /// the `#[should_panic]` tests below).
+    #[test]
+    fn ewma_valid_alphas_construct(alpha in 0.0f64..=1.0) {
+        let mut p = EwmaCthldPredictor::new(alpha);
+        prop_assert!((0.0..=1.0).contains(&p.update(0.3)));
+    }
+}
+
+#[test]
+#[should_panic(expected = "alpha must be in [0, 1]")]
+fn ewma_alpha_above_one_panics() {
+    let _ = EwmaCthldPredictor::new(1.5);
+}
+
+#[test]
+#[should_panic(expected = "alpha must be in [0, 1]")]
+fn ewma_alpha_below_zero_panics() {
+    let _ = EwmaCthldPredictor::new(-0.5);
+}
+
+#[test]
+#[should_panic(expected = "alpha must be in [0, 1]")]
+fn ewma_nan_alpha_panics() {
+    let _ = EwmaCthldPredictor::new(f64::NAN);
 }

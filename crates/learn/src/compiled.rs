@@ -34,7 +34,9 @@ use crate::tree::Node;
 const LEAF: u32 = u32::MAX;
 
 /// One flattened node: 16 bytes, so a 64-byte cache line holds four.
-#[derive(Debug, Clone, Copy)]
+/// Equality compares thresholds as `f64` values (always finite here) — used
+/// by the differential suite to prove two compiled arenas identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct PackedNode {
     /// Split feature index; `LEAF` marks leaves.
     feature: u32,
@@ -50,7 +52,7 @@ struct PackedNode {
 /// Build one with [`RandomForest::compile`]; it borrows nothing and can be
 /// sent to another thread. Compiling is cheap (one pass over the nodes) and
 /// done once per retrain, not per prediction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledForest {
     /// All trees' nodes, each tree laid out breadth-first.
     nodes: Vec<PackedNode>,

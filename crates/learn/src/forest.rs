@@ -11,6 +11,14 @@
 //! Training parallelizes across trees with scoped threads (the paper notes
 //! "training of random forests is also able to be parallelized", §5.8); on
 //! a single-core host it degrades to sequential work.
+//!
+//! **Determinism.** Tree `t` draws its bootstrap sample and split
+//! randomness from RNG streams derived *only* from the master seed and `t`
+//! (`seed · φ64 + t`, golden-ratio mixing), never from which worker thread
+//! built it or in what order. Parallel training is therefore bit-identical
+//! to sequential training — [`RandomForest::fit_with_threads`] with any
+//! thread count produces the same forest, which `tests/train_differential.rs`
+//! proves structurally (tree bytes, probabilities, compiled arena).
 
 use crate::binned::{fit_binned, BinnedDataset};
 use crate::tree::{fit_on_indices, DecisionTree, TreeParams};
@@ -112,10 +120,18 @@ impl RandomForest {
     pub(crate) fn from_trees(params: RandomForestParams, trees: Vec<DecisionTree>) -> Self {
         Self { params, trees }
     }
-}
 
-impl Classifier for RandomForest {
-    fn fit(&mut self, data: &Dataset) {
+    /// Trains the forest on `data` with an explicit worker-thread count
+    /// (clamped to `1..=n_trees`).
+    ///
+    /// The trained forest is **bit-identical for every thread count**: tree
+    /// `t` seeds its bootstrap and split RNGs purely from `(master seed, t)`,
+    /// so thread scheduling cannot leak into the model. `threads == 1` runs
+    /// a plain sequential loop on the calling thread with no spawning at
+    /// all — the reference every parallel run is differentially tested
+    /// against. [`Classifier::fit`] delegates here with one thread per
+    /// available core.
+    pub fn fit_with_threads(&mut self, data: &Dataset, threads: usize) {
         assert!(!data.is_empty(), "empty training set");
         let n = data.len();
         let m = data.n_features();
@@ -130,44 +146,45 @@ impl Classifier for RandomForest {
             .n_bins
             .map(|b| BinnedDataset::from_dataset(data, b));
         let n_trees = self.params.n_trees;
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n_trees);
-        let chunk = n_trees.div_ceil(threads);
+        let threads = threads.clamp(1, n_trees.max(1));
 
         let params = &self.params;
         let binned_ref = binned.as_ref();
+        // Everything random about tree `t` derives from this seed alone.
+        let build = |t: usize| -> DecisionTree {
+            let tree_seed = params
+                .seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(t as u64);
+            let mut rng = StdRng::seed_from_u64(tree_seed);
+            // Bootstrap: sample with replacement.
+            let mut indices: Vec<usize> = (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
+            let tp = TreeParams {
+                max_features: Some(max_features),
+                max_depth: params.max_depth,
+                min_samples_split: 2,
+                seed: tree_seed ^ 0xA5A5_5A5A,
+            };
+            match binned_ref {
+                Some(b) => fit_binned(tp, b, &mut indices),
+                None => fit_on_indices(tp, data, &mut indices),
+            }
+        };
+
+        if threads == 1 {
+            self.trees = (0..n_trees).map(build).collect();
+            return;
+        }
+
+        let chunk = n_trees.div_ceil(threads);
         let mut trees: Vec<(usize, DecisionTree)> = Vec::with_capacity(n_trees);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t0 in (0..n_trees).step_by(chunk) {
                 let hi = (t0 + chunk).min(n_trees);
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::with_capacity(hi - t0);
-                    for t in t0..hi {
-                        let tree_seed = params
-                            .seed
-                            .wrapping_mul(0x9E3779B97F4A7C15)
-                            .wrapping_add(t as u64);
-                        let mut rng = StdRng::seed_from_u64(tree_seed);
-                        // Bootstrap: sample with replacement.
-                        let mut indices: Vec<usize> =
-                            (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
-                        let tp = TreeParams {
-                            max_features: Some(max_features),
-                            max_depth: params.max_depth,
-                            min_samples_split: 2,
-                            seed: tree_seed ^ 0xA5A5_5A5A,
-                        };
-                        let tree = match binned_ref {
-                            Some(b) => fit_binned(tp, b, &mut indices),
-                            None => fit_on_indices(tp, data, &mut indices),
-                        };
-                        local.push((t, tree));
-                    }
-                    local
-                }));
+                let build = &build;
+                handles
+                    .push(scope.spawn(move || (t0..hi).map(|t| (t, build(t))).collect::<Vec<_>>()));
             }
             for h in handles {
                 trees.extend(h.join().expect("tree-training thread panicked"));
@@ -175,6 +192,15 @@ impl Classifier for RandomForest {
         });
         trees.sort_by_key(|(t, _)| *t);
         self.trees = trees.into_iter().map(|(_, t)| t).collect();
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.fit_with_threads(data, threads);
     }
 
     fn score(&self, features: &[f64]) -> f64 {
@@ -262,6 +288,40 @@ mod tests {
         let probe = noisy_dataset(50, 2, 5);
         for i in 0..probe.len() {
             assert_eq!(a.predict_proba(probe.row(i)), b.predict_proba(probe.row(i)));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_all_give_the_same_forest() {
+        let train = noisy_dataset(250, 3, 13);
+        let probe = noisy_dataset(60, 3, 14);
+        let params = RandomForestParams {
+            n_trees: 9,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut reference = RandomForest::new(params.clone());
+        reference.fit_with_threads(&train, 1);
+        for threads in [2, 3, 4, 8, 64] {
+            let mut f = RandomForest::new(params.clone());
+            f.fit_with_threads(&train, threads);
+            assert_eq!(f.tree_count(), reference.tree_count());
+            for i in 0..probe.len() {
+                assert_eq!(
+                    f.predict_proba(probe.row(i)),
+                    reference.predict_proba(probe.row(i)),
+                    "threads={threads} point {i}"
+                );
+            }
+        }
+        // The default `fit` (auto thread count) matches the reference too.
+        let mut auto = RandomForest::new(params);
+        auto.fit(&train);
+        for i in 0..probe.len() {
+            assert_eq!(
+                auto.predict_proba(probe.row(i)),
+                reference.predict_proba(probe.row(i))
+            );
         }
     }
 

@@ -1,6 +1,19 @@
 //! The TCP transport: accept loop, per-connection session, connection
 //! hardening (timeouts, load shedding, panic isolation), durable-session
-//! orchestration, graceful shutdown.
+//! orchestration, background retraining with atomic model hot-swap,
+//! graceful shutdown.
+//!
+//! # Background retraining
+//!
+//! `RETRAIN` replies immediately (`OK retraining job=<id>`) and trains on
+//! a dedicated thread while `OBS`/`OBSB` keep serving the old model. The
+//! finished model is swapped in atomically between requests (see
+//! [`harvest_training`]), the swap is logged to the WAL at that moment,
+//! and an `EVENT retrained …` line is pushed to the client ahead of the
+//! next reply. While a job is in flight, `LABEL` and a second `RETRAIN`
+//! are rejected — that invariant is what lets WAL replay (a synchronous
+//! retrain at the logged swap position) rebuild the exact model the live
+//! session was serving.
 
 use crate::proto::{parse_request, Request, Response};
 use crate::store::{DurableSession, SessionStore};
@@ -149,6 +162,16 @@ impl Session {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
+                // New labels would change the training set the in-flight
+                // job already snapshotted. Rejecting them keeps the labeled
+                // prefix at swap time identical to the one at submission
+                // time, which is what makes WAL replay (a synchronous
+                // retrain at the swap position) reproduce the live model.
+                if p.training_in_flight() {
+                    return Response::Err(
+                        "retrain in progress; send labels after it completes".into(),
+                    );
+                }
                 match p.ingest_labels(&Labels::from_flags(flags.clone())) {
                     Ok(()) => Response::Ok(format!("labeled={}", p.labeled_len())),
                     Err(e) => Response::Err(e.to_string()),
@@ -158,28 +181,68 @@ impl Session {
                 let Some(p) = self.pipeline.as_mut() else {
                     return Response::Err("HELLO first".into());
                 };
-                if p.retrain() {
-                    Response::Ok(format!("trained cthld={:.3}", p.current_cthld()))
-                } else {
-                    Response::Err("need at least one labeled anomaly".into())
+                match p.start_retrain() {
+                    Ok(job) => Response::Ok(format!("retraining job={job}")),
+                    Err(e) => Response::Err(e.to_string()),
                 }
             }
             Request::Status => match self.pipeline.as_ref() {
-                None => {
-                    Response::Ok("observed=0 labeled=0 trained=0 extract_us=0 infer_us=0".into())
-                }
+                None => Response::Ok(
+                    "observed=0 labeled=0 trained=0 extract_us=0 infer_us=0 \
+                     train_us=0 model_version=0 training=0"
+                        .into(),
+                ),
                 Some(p) => Response::Ok(format!(
-                    "observed={} labeled={} trained={} cthld={:.3} extract_us={} infer_us={}",
+                    "observed={} labeled={} trained={} cthld={:.3} extract_us={} infer_us={} \
+                     train_us={} model_version={} training={}",
                     p.observed_len(),
                     p.labeled_len(),
                     u8::from(p.is_trained()),
                     p.current_cthld(),
                     p.extract_us(),
-                    p.infer_us()
+                    p.infer_us(),
+                    p.train_us(),
+                    p.model_version(),
+                    u8::from(p.training_in_flight())
                 )),
             },
             Request::Quit => Response::Bye,
         }
+    }
+
+    /// Applies one request during WAL replay. Identical to [`Session::apply`]
+    /// except that `RETRAIN` trains synchronously: a logged `RETRAIN` marks
+    /// the position where a background job's model was swapped in, so replay
+    /// must produce the new model before the next line. The result is
+    /// bit-identical to the live session's because the live job trained on
+    /// exactly the labeled prefix that exists here (labels are rejected
+    /// while a job is in flight) and the asynchronous path is the
+    /// synchronous path — `Opprentice::retrain` is `start_retrain` +
+    /// `wait_retrain`.
+    pub(crate) fn apply_replay(&mut self, request: &Request) -> Response {
+        let response = self.apply(request);
+        if matches!(request, Request::Retrain) {
+            if let Response::Ok(_) = &response {
+                return match self.wait_training() {
+                    Some(r) => Response::Ok(format!("trained cthld={:.3}", r.cthld)),
+                    // A panicked trainer keeps the old model; the replayed
+                    // WAL said a swap happened, so surface the divergence.
+                    None => Response::Err("retrain failed during replay".into()),
+                };
+            }
+        }
+        response
+    }
+
+    /// Non-blocking check for a finished background retrain; swaps the new
+    /// model in if one is ready.
+    pub(crate) fn poll_training(&mut self) -> Option<opprentice::TrainingReport> {
+        self.pipeline.as_mut()?.poll_retrain()
+    }
+
+    /// Blocks until any in-flight retrain lands (replay and tests).
+    pub(crate) fn wait_training(&mut self) -> Option<opprentice::TrainingReport> {
+        self.pipeline.as_mut()?.wait_retrain()
     }
 }
 
@@ -209,7 +272,11 @@ struct ConnCtx {
 }
 
 /// True for commands that mutate session state and therefore belong in
-/// the write-ahead log.
+/// the write-ahead log. `RETRAIN` is deliberately absent: accepting one
+/// only *starts* a background job, which mutates nothing until its model
+/// is swapped in — [`harvest_training`] logs the `RETRAIN` at that moment,
+/// so recovery replays to exactly the model that was serving (old before
+/// the swap, new after), never a torn state.
 fn is_durable_command(request: &Request) -> bool {
     matches!(
         request,
@@ -218,8 +285,25 @@ fn is_durable_command(request: &Request) -> bool {
             | Request::Obs { .. }
             | Request::ObsBatch { .. }
             | Request::Label { .. }
-            | Request::Retrain
     )
+}
+
+/// Polls the session's background trainer; when a new model just landed,
+/// makes the swap durable (logs `RETRAIN` at the swap position — see
+/// [`is_durable_command`]) and returns the completion event line to write
+/// to the client ahead of the next reply.
+fn harvest_training(session: &mut Session, durable: &mut Option<DurableSession>) -> Option<String> {
+    let report = session.poll_training()?;
+    if let Some(d) = durable.as_mut() {
+        // An append failure leaves the swap volatile — recovery would land
+        // on the old model — but the live session serves the new one
+        // either way, and the next snapshot captures it durably.
+        let _ = d.append("RETRAIN");
+    }
+    Some(format!(
+        "EVENT retrained job={} model_version={} cthld={:.3} train_us={}",
+        report.job_id, report.model_version, report.cthld, report.train_us
+    ))
 }
 
 /// Parses and applies one trimmed, non-empty line; maintains the WAL and
@@ -403,17 +487,28 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                     // only: answer ERR, drop the session, keep serving
                     // everyone else. The session is considered poisoned —
                     // no final snapshot is taken from it.
+                    //
+                    // A finished background retrain is harvested here, at
+                    // the top of request handling: the swap happens between
+                    // requests, never mid-reply, and its completion event
+                    // precedes the reply to the request that observed it.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        apply_line(trimmed, &mut session, &mut durable, &ctx)
+                        let event = harvest_training(&mut session, &mut durable);
+                        let response = apply_line(trimmed, &mut session, &mut durable, &ctx);
+                        (event, response)
                     }));
-                    let (response, finished) = match outcome {
-                        Ok(Response::Bye) => (Response::Bye, true),
-                        Ok(r) => (r, false),
+                    let (event, response, finished) = match outcome {
+                        Ok((event, Response::Bye)) => (event, Response::Bye, true),
+                        Ok((event, r)) => (event, r, false),
                         Err(_) => {
                             poisoned = true;
-                            (Response::Err("internal error".into()), true)
+                            (None, Response::Err("internal error".into()), true)
                         }
                     };
+                    if let Some(event) = event {
+                        out.extend_from_slice(event.as_bytes());
+                        out.push(b'\n');
+                    }
                     out.extend_from_slice(response.render().as_bytes());
                     out.push(b'\n');
                     if finished {
@@ -595,10 +690,13 @@ mod tests {
     use super::*;
     use std::io::{BufRead, BufReader};
 
-    /// A tiny blocking test client.
+    /// A tiny blocking test client. Asynchronous `EVENT` lines (retrain
+    /// completions) are collected into `events` rather than returned as
+    /// replies, mirroring how a real client demultiplexes the stream.
     struct Client {
         reader: BufReader<TcpStream>,
         writer: TcpStream,
+        events: Vec<String>,
     }
 
     impl Client {
@@ -608,6 +706,7 @@ mod tests {
             Client {
                 reader: BufReader::new(stream),
                 writer,
+                events: Vec::new(),
             }
         }
 
@@ -619,9 +718,32 @@ mod tests {
         }
 
         fn read_line(&mut self) -> String {
-            let mut out = String::new();
-            self.reader.read_line(&mut out).unwrap();
-            out.trim_end().to_string()
+            loop {
+                let mut out = String::new();
+                self.reader.read_line(&mut out).unwrap();
+                let line = out.trim_end().to_string();
+                if line.starts_with("EVENT ") {
+                    self.events.push(line);
+                    continue;
+                }
+                return line;
+            }
+        }
+    }
+
+    /// Issues `RETRAIN` and polls `STATUS` until the background job lands.
+    fn retrain_and_wait(c: &mut Client) {
+        let reply = c.send("RETRAIN");
+        assert!(reply.starts_with("OK retraining job="), "{reply}");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = c.send("STATUS");
+            if status.contains("training=0") {
+                assert!(status.contains(" trained=1 "), "{status}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "retrain never landed: {status}");
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 
@@ -663,10 +785,16 @@ mod tests {
             flags.push(if anomalous { '1' } else { '0' });
         }
 
-        // Label everything, retrain.
+        // Label everything, retrain (asynchronously — serving continues
+        // on the untrained default until the new model swaps in).
         assert_eq!(c.send(&format!("LABEL {flags}")), format!("OK labeled={n}"));
-        let trained = c.send("RETRAIN");
-        assert!(trained.starts_with("OK trained"), "{trained}");
+        retrain_and_wait(&mut c);
+        assert_eq!(c.events.len(), 1, "{:?}", c.events);
+        assert!(
+            c.events[0].starts_with("EVENT retrained job=1 model_version=1 cthld="),
+            "{:?}",
+            c.events
+        );
 
         // A normal continuation scores low; a spike alerts.
         let normal = c.send(&format!("OBS {} 100.0", n * 3600));
@@ -677,6 +805,65 @@ mod tests {
         assert_eq!(c.send("QUIT"), "BYE");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    /// While a retrain job is in flight, `LABEL` and a second `RETRAIN`
+    /// are refused — the invariant that keeps WAL replay exact. Driven at
+    /// the Session level, where nothing polls the job in, so the
+    /// assertions cannot race the trainer thread finishing.
+    #[test]
+    fn mid_flight_labels_and_second_retrain_are_rejected() {
+        fn apply(s: &mut Session, line: &str) -> Response {
+            s.apply(&parse_request(line).unwrap())
+        }
+        let mut s = Session::new(8);
+        assert!(matches!(apply(&mut s, "HELLO 3600"), Response::Ok(_)));
+        let n = 14 * 24;
+        let mut flags = String::with_capacity(n);
+        for i in 0..n {
+            let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let anomalous = i % 63 == 50 || i % 63 == 51;
+            let v = if anomalous { base + 150.0 } else { base };
+            assert!(matches!(
+                apply(&mut s, &format!("OBS {} {v}", i * 3600)),
+                Response::Ok(_)
+            ));
+            flags.push(if anomalous { '1' } else { '0' });
+        }
+        assert!(matches!(
+            apply(&mut s, &format!("LABEL {flags}")),
+            Response::Ok(_)
+        ));
+
+        match apply(&mut s, "RETRAIN") {
+            Response::Ok(m) => assert_eq!(m, "retraining job=1"),
+            other => panic!("unexpected {}", other.render()),
+        }
+        match apply(&mut s, "LABEL 0") {
+            Response::Err(m) => {
+                assert_eq!(m, "retrain in progress; send labels after it completes");
+            }
+            other => panic!("unexpected {}", other.render()),
+        }
+        match apply(&mut s, "RETRAIN") {
+            Response::Err(m) => assert_eq!(m, "retrain already in progress"),
+            other => panic!("unexpected {}", other.render()),
+        }
+        // Observations keep flowing throughout.
+        assert!(matches!(
+            apply(&mut s, &format!("OBS {} 100.0", n * 3600)),
+            Response::Ok(_)
+        ));
+
+        // Once the job lands, both are accepted again.
+        let report = s.wait_training().expect("job lands");
+        assert_eq!(report.model_version, 1);
+        assert!(matches!(apply(&mut s, "LABEL 0"), Response::Ok(_)));
+        match apply(&mut s, "RETRAIN") {
+            Response::Ok(m) => assert_eq!(m, "retraining job=2"),
+            other => panic!("unexpected {}", other.render()),
+        }
+        assert_eq!(s.wait_training().expect("job lands").model_version, 2);
     }
 
     /// The load-bearing batching contract: an `OBSB` reply is the `|`-join
@@ -724,7 +911,8 @@ mod tests {
         // Before HELLO the counters exist and are zero.
         assert_eq!(
             c.send("STATUS"),
-            "OK observed=0 labeled=0 trained=0 extract_us=0 infer_us=0"
+            "OK observed=0 labeled=0 trained=0 extract_us=0 infer_us=0 \
+             train_us=0 model_version=0 training=0"
         );
         assert!(c.send("HELLO 60").starts_with("OK"));
 

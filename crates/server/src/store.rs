@@ -5,7 +5,7 @@
 //! ```text
 //! <state_dir>/<session_id>/
 //!     wal.log          append-only; one applied command per line
-//!     snapshot.oprf    latest full-state snapshot (OPRF v2)
+//!     snapshot.oprf    latest full-state snapshot (OPRF v4)
 //!     snapshot.tmp     in-flight snapshot (renamed into place when synced)
 //! ```
 //!
@@ -15,7 +15,12 @@
 //! is the raw text of one successfully applied protocol command (`HELLO`,
 //! `PREF`, `OBS`, `LABEL`, `RETRAIN`). A command is appended *after* it has
 //! been applied and *before* its `OK` is sent, so every acknowledged
-//! command survives a crash.
+//! command survives a crash. The one deliberate exception is `RETRAIN`,
+//! which trains in the background: its line is appended at the moment the
+//! finished model is *swapped in*, not when the job was accepted, so a
+//! crash during training recovers to the old model (the job simply never
+//! happened) and a crash after the swap recovers to the new one — never a
+//! torn in-between.
 //!
 //! **Snapshots.** Replaying `OBS` lines is cheap (feature extraction);
 //! replaying `RETRAIN` lines is the expensive part. A snapshot therefore
@@ -348,14 +353,17 @@ fn recover(
     Ok(session)
 }
 
-/// Re-applies one WAL line to the session under recovery.
+/// Re-applies one WAL line to the session under recovery. Uses the
+/// synchronous-retrain variant of the state machine: a logged `RETRAIN`
+/// marks a completed swap, so replay must finish training before the next
+/// line.
 fn replay_line(session: &mut Session, line: &str, skip_retrain: bool) -> Result<(), StoreError> {
     let request =
         parse_request(line).map_err(|e| StoreError::CorruptWal(format!("`{line}`: {e}")))?;
     if skip_retrain && request == Request::Retrain {
         return Ok(());
     }
-    match session.apply(&request) {
+    match session.apply_replay(&request) {
         crate::proto::Response::Err(reason) => {
             Err(StoreError::ReplayFailed(format!("`{line}`: {reason}")))
         }
@@ -385,7 +393,14 @@ mod tests {
         for line in lines {
             let request = parse_request(line).unwrap();
             match session.apply(&request) {
-                Response::Ok(_) => durable.append(line).unwrap(),
+                Response::Ok(_) => {
+                    // Mirror the server: a RETRAIN line records the swap,
+                    // so the background job must land before it is logged.
+                    if request == Request::Retrain {
+                        session.wait_training().expect("retrain lands");
+                    }
+                    durable.append(line).unwrap();
+                }
                 other => panic!("`{line}` -> {other:?}"),
             }
         }
@@ -436,6 +451,11 @@ mod tests {
         drop(durable); // crash: no snapshot, no clean close
 
         let (_d2, mut recovered) = store.resume("kpi-1").unwrap();
+        // The replayed RETRAIN rebuilt the swapped-in model exactly.
+        match recovered.apply(&Request::Status) {
+            Response::Ok(s) => assert!(s.contains("model_version=1"), "{s}"),
+            other => panic!("{other:?}"),
+        }
         let t0 = (21 * 24) * 3600;
         assert_eq!(probe(&mut live, t0), probe(&mut recovered, t0));
         std::fs::remove_dir_all(root).unwrap();
@@ -460,6 +480,11 @@ mod tests {
 
         let (d2, mut recovered) = store.resume("kpi-2").unwrap();
         assert_eq!(d2.since_snapshot(), 48);
+        // The snapshot path restores the model version too.
+        match recovered.apply(&Request::Status) {
+            Response::Ok(s) => assert!(s.contains("model_version=1"), "{s}"),
+            other => panic!("{other:?}"),
+        }
         let t0 = (21 * 24 + 48) * 3600;
         assert_eq!(probe(&mut live, t0), probe(&mut recovered, t0));
         std::fs::remove_dir_all(root).unwrap();

@@ -9,10 +9,13 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A tiny blocking test client for the line protocol.
+/// A tiny blocking test client for the line protocol. Asynchronous
+/// `EVENT` lines (background-retrain completions) are demultiplexed into
+/// [`Client::events`] rather than returned as command replies.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    events: Vec<String>,
 }
 
 impl Client {
@@ -36,6 +39,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            events: Vec::new(),
         })
     }
 
@@ -48,10 +52,24 @@ impl Client {
     }
 
     /// Reads one response line (trimmed). An empty string means EOF.
+    /// `EVENT` lines encountered on the way are collected into
+    /// [`Client::events`] and not returned.
     pub fn read_line(&mut self) -> std::io::Result<String> {
-        let mut out = String::new();
-        self.reader.read_line(&mut out)?;
-        Ok(out.trim_end().to_string())
+        loop {
+            let mut out = String::new();
+            self.reader.read_line(&mut out)?;
+            let line = out.trim_end().to_string();
+            if line.starts_with("EVENT ") {
+                self.events.push(line);
+                continue;
+            }
+            return Ok(line);
+        }
+    }
+
+    /// Asynchronous `EVENT` lines collected so far, in arrival order.
+    pub fn events(&self) -> &[String] {
+        &self.events
     }
 
     /// Writes raw bytes without framing (for malformed-input injection).

@@ -10,6 +10,9 @@
 //! - a killed-and-resumed durable session produces verdicts identical to a
 //!   session that was never interrupted — across client crashes, a handler
 //!   panic, *and* a full server restart,
+//! - a session killed while a background retrain is in flight resumes on
+//!   exactly the old model; killed after the swap, on exactly the new one —
+//!   never a torn in-between,
 //! - a panicking handler takes down only its own connection,
 //! - `OBSB` batches reply and are write-ahead logged exactly like the
 //!   equivalent `OBS` sequence, including across a kill-and-resume cycle.
@@ -60,6 +63,33 @@ fn kpi_stream(hours: usize) -> (Vec<String>, String) {
 
 fn send_all(c: &mut Client, lines: &[String]) -> Vec<String> {
     lines.iter().map(|l| c.send(l).expect("send")).collect()
+}
+
+/// Issues `RETRAIN` (which returns immediately) and polls `STATUS` until
+/// the background job's model has been swapped in.
+fn retrain_and_wait(c: &mut Client) {
+    let reply = c.send("RETRAIN").expect("retrain");
+    assert!(reply.starts_with("OK retraining job="), "{reply}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = c.send("STATUS").expect("status");
+        if status.contains("training=0") {
+            assert!(status.contains(" trained=1 "), "{status}");
+            return;
+        }
+        assert!(Instant::now() < deadline, "retrain never landed: {status}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One field from a fresh `STATUS` reply.
+fn status_field(c: &mut Client, key: &str) -> String {
+    let status = c.send("STATUS").expect("status");
+    status
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key))
+        .unwrap_or_else(|| panic!("no {key} in {status}"))
+        .to_string()
 }
 
 /// Reconnects and `RESUME`s a durable session. An abruptly killed
@@ -238,7 +268,7 @@ fn killed_and_resumed_session_scores_identically() {
         .send(&format!("LABEL {flags}"))
         .unwrap()
         .starts_with("OK"));
-    assert!(control.send("RETRAIN").unwrap().starts_with("OK trained"));
+    retrain_and_wait(&mut control);
     let control_verdicts = send_all(&mut control, held_out);
     control.send("QUIT").unwrap();
 
@@ -254,7 +284,7 @@ fn killed_and_resumed_session_scores_identically() {
         .send(&format!("LABEL {flags}"))
         .unwrap()
         .starts_with("OK"));
-    assert!(victim.send("RETRAIN").unwrap().starts_with("OK trained"));
+    retrain_and_wait(&mut victim);
     // A handler panic poisons the session: no final snapshot is taken, so
     // the next resume must recover from the WAL alone past the last
     // periodic snapshot.
@@ -282,6 +312,120 @@ fn killed_and_resumed_session_scores_identically() {
         victim_verdicts.iter().any(|v| v.contains("anomaly=1")),
         "no spike ever alerted"
     );
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(state_dir).unwrap();
+}
+
+/// The crash guarantee for background retraining: killing a session while
+/// a retrain job is in flight abandons the job — the `RETRAIN` only
+/// reaches the WAL when its model is swapped in, so the resumed session
+/// serves exactly the old model. Killing it after the swap resumes on
+/// exactly the new one. Both halves are checked against uninterrupted
+/// control sessions for byte-identical verdicts.
+#[test]
+fn kill_mid_retrain_resumes_on_exactly_old_or_new_model() {
+    let state_dir = scratch();
+    let config = ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        ..test_config()
+    };
+    let (handle, join) = start_server(config);
+    let addr = handle.addr();
+
+    // Four weeks of labeled data; the last week's labels feed a second
+    // retrain. Probes A land between the interrupted and the successful
+    // retrain, probes B after the successful one.
+    let (full, all_flags) = kpi_stream(28 * 24);
+    let history = full[..21 * 24].to_vec();
+    let week4 = full[21 * 24..].to_vec();
+    let flags21 = &all_flags[..21 * 24];
+    let flags_w4 = &all_flags[21 * 24..];
+    let probes_a = vec![
+        format!("OBS {} 400.0", 28 * 24 * 3600),
+        format!("OBS {} 100.0", (28 * 24 + 1) * 3600),
+    ];
+    let probes_b = vec![
+        format!("OBS {} 400.0", (28 * 24 + 2) * 3600),
+        format!("OBS {} 100.0", (28 * 24 + 3) * 3600),
+    ];
+
+    // Controls: uninterrupted ephemeral sessions fed the identical stream.
+    // control1 stops at one retrain (what the victim resumes to in case A);
+    // control2 also runs the second retrain at exactly the position where
+    // the victim's succeeds (case B).
+    let run_control = |second_retrain: bool| -> (Vec<String>, Vec<String>) {
+        let mut c = Client::connect(addr).expect("connect");
+        assert!(c.send("HELLO 3600").unwrap().starts_with("OK"));
+        send_all(&mut c, &history);
+        assert!(c
+            .send(&format!("LABEL {flags21}"))
+            .unwrap()
+            .starts_with("OK"));
+        retrain_and_wait(&mut c);
+        send_all(&mut c, &week4);
+        assert!(c
+            .send(&format!("LABEL {flags_w4}"))
+            .unwrap()
+            .starts_with("OK"));
+        let a = send_all(&mut c, &probes_a);
+        if second_retrain {
+            retrain_and_wait(&mut c);
+        }
+        let b = send_all(&mut c, &probes_b);
+        c.send("QUIT").unwrap();
+        (a, b)
+    };
+    let (control1_a, _) = run_control(false);
+    let (control2_a, control2_b) = run_control(true);
+    assert_eq!(
+        control1_a, control2_a,
+        "probes A precede the second retrain"
+    );
+
+    // Victim: train once, label week 4, then submit a retrain and die
+    // before anything polls the job in.
+    let mut victim = Client::connect(addr).expect("connect");
+    assert!(victim
+        .send("HELLO 3600 midtrain")
+        .unwrap()
+        .starts_with("OK"));
+    send_all(&mut victim, &history);
+    assert!(victim
+        .send(&format!("LABEL {flags21}"))
+        .unwrap()
+        .starts_with("OK"));
+    retrain_and_wait(&mut victim);
+    send_all(&mut victim, &week4);
+    assert!(victim
+        .send(&format!("LABEL {flags_w4}"))
+        .unwrap()
+        .starts_with("OK"));
+    let reply = victim.send("RETRAIN").unwrap();
+    assert!(reply.starts_with("OK retraining job="), "{reply}");
+    victim.kill(); // crash with the job in flight — the swap never lands
+
+    // Case A: the resumed session is on exactly the old model.
+    let mut victim = resume(addr, "midtrain");
+    assert_eq!(status_field(&mut victim, "model_version="), "1");
+    assert_eq!(status_field(&mut victim, "training="), "0");
+    assert_eq!(send_all(&mut victim, &probes_a), control1_a);
+
+    // Case B: retrain to completion (the swap reaches the WAL), then die.
+    retrain_and_wait(&mut victim);
+    assert_eq!(status_field(&mut victim, "model_version="), "2");
+    victim.kill();
+
+    let mut victim = resume(addr, "midtrain");
+    assert_eq!(status_field(&mut victim, "model_version="), "2");
+    let victim_b = send_all(&mut victim, &probes_b);
+    assert_eq!(victim_b, control2_b);
+    assert!(
+        victim_b.iter().any(|v| v.contains("anomaly=1")),
+        "no spike ever alerted"
+    );
+    victim.send("QUIT").unwrap();
 
     handle.shutdown();
     join.join().unwrap();
@@ -347,7 +491,7 @@ fn obsb_batches_match_obs_across_kill_and_resume() {
         .send(&format!("LABEL {flags}"))
         .unwrap()
         .starts_with("OK"));
-    assert!(control.send("RETRAIN").unwrap().starts_with("OK trained"));
+    retrain_and_wait(&mut control);
     let control_verdicts = send_all(&mut control, &held_out);
     control.send("QUIT").unwrap();
 
@@ -366,7 +510,7 @@ fn obsb_batches_match_obs_across_kill_and_resume() {
         .send(&format!("LABEL {flags}"))
         .unwrap()
         .starts_with("OK"));
-    assert!(victim.send("RETRAIN").unwrap().starts_with("OK trained"));
+    retrain_and_wait(&mut victim);
 
     // Held out: first half batched, then another kill, rest as singles.
     let batched_half = send_all(&mut victim, &to_batches(&held_out[..12]));

@@ -212,6 +212,190 @@ fn operator_noise_degrades_but_does_not_break_learning() {
     );
 }
 
+/// Train-while-serving over a real socket: a session keeps streaming
+/// `OBSB` batches while a background `RETRAIN` runs. Every batch reply
+/// must be byte-identical to one of two offline reference pipelines — A
+/// (trained on the first 21 days of labels) or B (additionally retrained
+/// on the week-4 labels) — because the swap is atomic and lands between
+/// requests: a batch is answered wholly by the old model or wholly by the
+/// new one, never a mixture. The switch must be monotone (once B, always
+/// B), no reply may be an `ERR`, and after training completes the session
+/// must serve exactly B.
+#[test]
+fn background_retrain_streams_against_old_then_new_reference() {
+    use opprentice_repro::timeseries::Labels;
+    use opprentice_server::testing::Client;
+    use opprentice_server::{Server, ServerConfig};
+    use std::fmt::Write as _;
+    use std::time::{Duration, Instant};
+
+    const INTERVAL: i64 = 3600;
+    const N_TREES: usize = 16;
+
+    // Hourly KPI with a daily pattern and a labeled spike every 63 h.
+    let hours = 31 * 24;
+    let mut values = Vec::with_capacity(hours);
+    let mut flags = String::with_capacity(hours);
+    let mut truth = Vec::with_capacity(hours);
+    for i in 0..hours {
+        let base = 100.0 + 20.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+        let anomalous = i % 63 == 50 || i % 63 == 51;
+        values.push(if anomalous { base + 150.0 } else { base });
+        flags.push(if anomalous { '1' } else { '0' });
+        truth.push(anomalous);
+    }
+    let (h21, h28, h30) = (21 * 24, 28 * 24, 30 * 24);
+    let obsb_line = |start_hour: usize| -> String {
+        let rendered: Vec<String> = values[start_hour..start_hour + 24]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        format!(
+            "OBSB {} {}",
+            start_hour as i64 * INTERVAL,
+            rendered.join(" ")
+        )
+    };
+
+    // Offline references, mirroring the server session's configuration
+    // (the HELLO handler: moderate preference, default forest params at
+    // the server's tree count).
+    let build_reference = |second_retrain: bool| -> Opprentice {
+        let mut opp = Opprentice::new(
+            INTERVAL as u32,
+            OpprenticeConfig {
+                preference: Preference::moderate(),
+                forest: RandomForestParams {
+                    n_trees: N_TREES,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for (i, v) in values[..h21].iter().enumerate() {
+            opp.observe(i as i64 * INTERVAL, Some(*v));
+        }
+        opp.ingest_labels(&Labels::from_flags(truth[..h21].to_vec()))
+            .expect("labels fit");
+        assert!(opp.retrain());
+        for (i, v) in values[h21..h28].iter().enumerate() {
+            opp.observe((h21 + i) as i64 * INTERVAL, Some(*v));
+        }
+        if second_retrain {
+            opp.ingest_labels(&Labels::from_flags(truth[h21..h28].to_vec()))
+                .expect("labels fit");
+            assert!(opp.retrain());
+        }
+        opp
+    };
+    let mut ref_a = build_reference(false);
+    let mut ref_b = build_reference(true);
+
+    // Renders one day of observations exactly as an `OBSB` reply does.
+    let render = |opp: &mut Opprentice, start_hour: usize| -> String {
+        let mut out = String::from("OK ");
+        for (k, i) in (start_hour..start_hour + 24).enumerate() {
+            if k > 0 {
+                out.push('|');
+            }
+            match opp.observe(i as i64 * INTERVAL, Some(values[i])) {
+                Some(d) => write!(
+                    out,
+                    "p={:.4} cthld={:.3} anomaly={}",
+                    d.probability,
+                    d.cthld,
+                    u8::from(d.is_anomaly)
+                )
+                .unwrap(),
+                None => out.push_str("pending"),
+            }
+        }
+        out
+    };
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            n_trees: N_TREES,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.serve().expect("serve"));
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // A stalled request fails the test instead of hanging it.
+    c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+
+    let wait_trained = |c: &mut Client| {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let status = c.send("STATUS").expect("status");
+            if status.contains("training=0") {
+                return;
+            }
+            assert!(Instant::now() < deadline, "retrain never landed: {status}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    assert!(c.send("HELLO 3600").unwrap().starts_with("OK"));
+    for day in 0..21 {
+        let reply = c.send(&obsb_line(day * 24)).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+    }
+    assert!(c
+        .send(&format!("LABEL {}", &flags[..h21]))
+        .unwrap()
+        .starts_with("OK"));
+    let reply = c.send("RETRAIN").unwrap();
+    assert!(reply.starts_with("OK retraining job=1"), "{reply}");
+    wait_trained(&mut c);
+
+    for day in 21..28 {
+        let reply = c.send(&obsb_line(day * 24)).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+    }
+    assert!(c
+        .send(&format!("LABEL {}", &flags[h21..h28]))
+        .unwrap()
+        .starts_with("OK"));
+
+    // The second retrain runs in the background while days 28–29 stream.
+    let reply = c.send("RETRAIN").unwrap();
+    assert!(reply.starts_with("OK retraining job=2"), "{reply}");
+    let mut switched = false;
+    for day in 28..30 {
+        let reply = c.send(&obsb_line(day * 24)).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+        let a = render(&mut ref_a, day * 24);
+        let b = render(&mut ref_b, day * 24);
+        if switched || reply != a {
+            assert_eq!(reply, b, "day {day}: reply matches neither reference");
+            switched = true;
+        }
+    }
+
+    // Once training lands, the session serves exactly reference B.
+    wait_trained(&mut c);
+    let status = c.send("STATUS").unwrap();
+    assert!(status.contains("model_version=2"), "{status}");
+    let reply = c.send(&obsb_line(h30)).unwrap();
+    let _ = render(&mut ref_a, h30);
+    assert_eq!(reply, render(&mut ref_b, h30));
+    assert!(
+        c.events()
+            .iter()
+            .any(|e| e.starts_with("EVENT retrained job=2 model_version=2 ")),
+        "completion event missing: {:?}",
+        c.events()
+    );
+
+    c.send("QUIT").unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 #[test]
 fn the_three_paper_kpis_generate_and_featurize_end_to_end() {
     // A fast-scale smoke test over the actual Table 1 presets.

@@ -1,0 +1,164 @@
+//! Differential proof that parallel training is bit-identical to
+//! sequential training.
+//!
+//! The serving layer retrains forests on background threads and
+//! `RandomForest::fit` builds trees on a thread pool, so the whole
+//! crash-recovery and hot-swap story leans on one property: **the trained
+//! forest is a pure function of (params, data)** — thread count, thread
+//! scheduling, and which thread built which tree must leave no trace.
+//! Every tree draws its randomness from an RNG stream derived only from
+//! the master seed and the tree's index, so this should hold by
+//! construction; this suite proves it structurally rather than trusting
+//! the construction:
+//!
+//! - the serialized forest bytes (`to_bytes`) are equal — every node,
+//!   threshold, and leaf probability of every tree,
+//! - predictions are bit-for-bit equal (`f64::to_bits`) on probe data,
+//! - the compiled inference arenas are equal (`CompiledForest: PartialEq`),
+//! - a parallel-trained forest round-trips through persistence to the
+//!   same bytes,
+//!
+//! across a grid of forest shapes (tree count, feature budget, binned and
+//! exact split search, dataset size) and explicit thread counts — *not*
+//! `available_parallelism`, so the grid exercises real multi-threading
+//! even on single-core CI hosts.
+
+use opprentice_learn::{Classifier, Dataset, RandomForest, RandomForestParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A noisy two-informative-feature dataset, the same shape the learn
+/// crate's unit tests use.
+fn noisy_dataset(n: usize, n_noise: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(2 + n_noise);
+    for _ in 0..n {
+        let f0: f64 = rng.gen_range(0.0..10.0);
+        let f1: f64 = rng.gen_range(0.0..10.0);
+        let mut row = vec![f0, f1];
+        for _ in 0..n_noise {
+            row.push(rng.gen_range(0.0..10.0));
+        }
+        d.push(&row, f0 + f1 > 10.0);
+    }
+    d
+}
+
+/// The forest-shape grid: (n_trees, max_features, n_bins, rows).
+/// Covers few/many trees, restricted and default feature budgets, binned
+/// and exact split search, and small through moderate datasets.
+fn grid() -> Vec<(RandomForestParams, usize)> {
+    [
+        (4, Some(4), Some(32), 120),
+        (16, None, Some(64), 300),
+        (9, Some(1), None, 80),
+        (12, None, None, 600),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (n_trees, max_features, n_bins, rows))| {
+        (
+            RandomForestParams {
+                n_trees,
+                max_features,
+                n_bins,
+                seed: 1000 + i as u64,
+                ..Default::default()
+            },
+            rows,
+        )
+    })
+    .collect()
+}
+
+const THREAD_COUNTS: [usize; 4] = [2, 3, 8, 64];
+
+fn fit(params: &RandomForestParams, data: &Dataset, threads: usize) -> RandomForest {
+    let mut f = RandomForest::new(params.clone());
+    f.fit_with_threads(data, threads);
+    f
+}
+
+/// Asserts `a` and `b` are the same forest: same serialized bytes, same
+/// compiled arena, bit-identical predictions on `probes`.
+fn assert_same_forest(a: &RandomForest, b: &RandomForest, probes: &Dataset, what: &str) {
+    assert_eq!(a.to_bytes(), b.to_bytes(), "{what}: serialized bytes");
+    assert_eq!(a.compile(), b.compile(), "{what}: compiled arena");
+    for i in 0..probes.len() {
+        assert_eq!(
+            a.predict_proba(probes.row(i)).to_bits(),
+            b.predict_proba(probes.row(i)).to_bits(),
+            "{what}: prediction bits on probe row {i}"
+        );
+    }
+}
+
+/// The core differential: for every grid point, every thread count yields
+/// byte-for-byte the forest the sequential build yields.
+#[test]
+fn parallel_training_is_bit_identical_to_sequential() {
+    for (params, rows) in grid() {
+        let train = noisy_dataset(rows, 3, params.seed);
+        let probes = noisy_dataset(128, 3, params.seed + 7);
+        let sequential = fit(&params, &train, 1);
+        assert_eq!(sequential.tree_count(), params.n_trees);
+        for threads in THREAD_COUNTS {
+            let parallel = fit(&params, &train, threads);
+            assert_same_forest(
+                &sequential,
+                &parallel,
+                &probes,
+                &format!("{params:?} with {threads} threads"),
+            );
+        }
+    }
+}
+
+/// The auto-parallel entry point (`Classifier::fit`, which picks a thread
+/// count from the host) is the same pure function.
+#[test]
+fn auto_threaded_fit_matches_explicit_sequential() {
+    for (params, rows) in grid() {
+        let train = noisy_dataset(rows, 3, params.seed);
+        let probes = noisy_dataset(64, 3, params.seed + 11);
+        let sequential = fit(&params, &train, 1);
+        let mut auto = RandomForest::new(params.clone());
+        auto.fit(&train);
+        assert_same_forest(&sequential, &auto, &probes, &format!("{params:?} auto"));
+    }
+}
+
+/// A parallel-trained forest survives a persistence round-trip with its
+/// bytes — and therefore its predictions — unchanged.
+#[test]
+fn parallel_trained_forest_round_trips_through_persistence() {
+    let (params, rows) = grid().remove(1);
+    let train = noisy_dataset(rows, 3, params.seed);
+    let probes = noisy_dataset(64, 3, params.seed + 13);
+    let trained = fit(&params, &train, 8);
+    let bytes = trained.to_bytes();
+    let restored = RandomForest::from_bytes(&bytes).expect("round-trip");
+    assert_same_forest(&trained, &restored, &probes, "persistence round-trip");
+    assert_eq!(restored.to_bytes(), bytes);
+}
+
+/// Oversubscription far beyond the tree count (and the host's cores) is
+/// harmless: the chunking clamps to one tree per thread at most.
+#[test]
+fn more_threads_than_trees_is_equivalent() {
+    let params = RandomForestParams {
+        n_trees: 3,
+        seed: 99,
+        ..Default::default()
+    };
+    let train = noisy_dataset(150, 2, 5);
+    let probes = noisy_dataset(64, 2, 6);
+    let sequential = fit(&params, &train, 1);
+    let oversubscribed = fit(&params, &train, 256);
+    assert_same_forest(
+        &sequential,
+        &oversubscribed,
+        &probes,
+        "256 threads, 3 trees",
+    );
+}
