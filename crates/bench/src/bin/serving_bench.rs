@@ -3,7 +3,9 @@
 //! Three layers are measured:
 //!
 //! 1. **In-process microbenches** — online feature extraction (133
-//!    detectors per point) and forest inference three ways: the tree-walk
+//!    detectors per point, both the per-config scalar path as the *before*
+//!    and the config-fused family kernels as the *after*, with per-family
+//!    ns/point attribution) and forest inference three ways: the tree-walk
 //!    path (`RandomForest::predict_proba`, the *before*), the compiled
 //!    flat-layout path (`CompiledForest::predict`, the *after*), and the
 //!    batched compiled path (`predict_batch`).
@@ -320,9 +322,13 @@ fn main() {
         extract_stream_pps = extract_stream_pps.max(pps);
     }
 
-    // Batched: `observe_batch` shards the 133 configurations across the
-    // worker pool — the OBSB / history-replay shape.
+    // Batched: `observe_batch` runs the fused family kernels,
+    // cost-balanced across the worker pool — the OBSB / history-replay
+    // shape. The best pass also donates its live per-family kernel
+    // timings (the fused *after* of the attribution table).
     let mut extract_pps = 0.0f64;
+    let mut fused_stats: Vec<opprentice::features::FamilyStat> = Vec::new();
+    let mut n_shards = 0usize;
     for _ in 0..EXTRACT_PASSES {
         let mut extractor_b = OnlineExtractor::new(3600);
         let t0 = Instant::now();
@@ -334,16 +340,22 @@ fn main() {
             i = end;
         }
         let pps = sizes.extract_points as f64 / t0.elapsed().as_secs_f64();
-        extract_pps = extract_pps.max(pps);
+        if pps > extract_pps {
+            extract_pps = pps;
+            fused_stats = extractor_b.family_stats();
+            n_shards = extractor_b.n_shards();
+        }
     }
     eprintln!(
         "[extract] streaming {extract_stream_pps:.0} pts/s, batched {extract_pps:.0} pts/s \
-         ({:.2}x, 133 detectors, batch of {EXTRACT_BATCH}, best of {EXTRACT_PASSES})",
+         ({:.2}x, 133 detectors, batch of {EXTRACT_BATCH}, {n_shards} shards, \
+         best of {EXTRACT_PASSES})",
         extract_pps / extract_stream_pps,
     );
 
-    // Per-detector-family breakdown: where does an extraction point go?
-    // Each family's configurations run alone over the same KPI.
+    // Per-detector-family breakdown, scalar *before*: each family's
+    // configurations run alone as boxed per-config detectors over the
+    // same KPI — the pre-fusion execution model.
     let mut families: Vec<(&'static str, Vec<opprentice_detectors::ConfiguredDetector>)> =
         Vec::new();
     for cfg in registry(3600) {
@@ -367,9 +379,41 @@ fn main() {
         let ns_per_point = t0.elapsed().as_nanos() as f64 / family_points as f64;
         family_rows.push((*name, dets.len(), ns_per_point));
     }
-    family_rows.sort_by(|a, b| b.2.total_cmp(&a.2));
-    for (name, n, ns) in &family_rows {
-        eprintln!("[extract/family] {name:<20} {n:>3} configs  {ns:>9.0} ns/point");
+
+    // Join with the fused *after*: a fused kernel may merge sibling
+    // scalar families (TSD + TSD MAD share windows, likewise historical),
+    // so sum the scalar ns over the families each kernel covers.
+    let scalar_ns_for = |fused_family: &str| -> f64 {
+        family_rows
+            .iter()
+            .filter(|(name, _, _)| match fused_family {
+                "TSD/TSD MAD" => *name == "TSD" || *name == "TSD MAD",
+                "historical average/MAD" => {
+                    *name == "historical average" || *name == "historical MAD"
+                }
+                f => *name == f,
+            })
+            .map(|(_, _, ns)| ns)
+            .sum()
+    };
+    let mut family_table: Vec<(&'static str, usize, f64, f64)> = fused_stats
+        .iter()
+        .map(|s| {
+            let fused_ns = if s.points > 0 {
+                s.nanos as f64 / s.points as f64
+            } else {
+                0.0
+            };
+            (s.family, s.configs, scalar_ns_for(s.family), fused_ns)
+        })
+        .collect();
+    family_table.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (name, n, scalar_ns, fused_ns) in &family_table {
+        eprintln!(
+            "[extract/family] {name:<24} {n:>3} configs  scalar {scalar_ns:>7.0} ns/pt  \
+             fused {fused_ns:>7.0} ns/pt  ({:.2}x)",
+            scalar_ns / fused_ns.max(1e-9),
+        );
     }
 
     // ---- Microbench 2: training throughput ------------------------------
@@ -379,7 +423,7 @@ fn main() {
     // the number the CI floor guards: the background-retrain path is only
     // useful if training keeps up with the labeled-data volume.
     const TRAIN_PASSES: usize = 3;
-    let train_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let train_threads = opprentice_numeric::parallel::configured_threads();
     let data = synthetic_dataset(sizes.micro_rows, 0xC0FFEE);
     let params = RandomForestParams {
         n_trees: sizes.micro_trees,
@@ -572,8 +616,10 @@ fn main() {
     "points_per_sec": {extract_pps:.1},
     "streaming_points_per_sec": {extract_stream_pps:.1},
     "batch_points": {extract_batch},
+    "n_shards": {n_shards},
     "best_of_passes": {extract_passes},
-    "per_family_ns_per_point": {{
+    "per_family": {{
+      "note": "scalar = per-config boxed detectors (before), fused = config-fused family kernel CPU time from the batched run (after)",
 {family_json}
     }}
   }},
@@ -628,10 +674,12 @@ fn main() {
         mode = sizes.mode,
         extract_batch = EXTRACT_BATCH,
         extract_passes = EXTRACT_PASSES,
-        family_json = family_rows
+        family_json = family_table
             .iter()
-            .map(|(name, n, ns)| format!(
-                "      \"{name}\": {{\"configs\": {n}, \"ns_per_point\": {ns:.1}}}"
+            .map(|(name, n, scalar_ns, fused_ns)| format!(
+                "      \"{name}\": {{\"configs\": {n}, \"scalar_ns_per_point\": {scalar_ns:.1}, \
+                 \"fused_ns_per_point\": {fused_ns:.1}, \"speedup\": {:.2}}}",
+                scalar_ns / fused_ns.max(1e-9)
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
@@ -674,6 +722,19 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[floor] batched extraction {extract_pps:.0} pts/s >= {floor:.0} pts/s");
+    }
+    if let Some(floor) = floor_arg("--min-obsb-pps") {
+        if obsb.points_per_sec < floor {
+            eprintln!(
+                "[FAIL] OBSB serving {:.0} pts/s is below the committed floor of {floor:.0} pts/s",
+                obsb.points_per_sec
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[floor] OBSB serving {:.0} pts/s >= {floor:.0} pts/s",
+            obsb.points_per_sec
+        );
     }
     if let Some(floor) = floor_arg("--min-train-rows-per-sec") {
         if train_rows_per_sec < floor {

@@ -6,14 +6,34 @@
 //! features", §1). Warm-up and missing-value slots hold 0 in the matrix —
 //! "no anomaly evidence" — and points whose *value* is missing are flagged
 //! unusable so training and evaluation skip them entirely (§4.3.2).
+//!
+//! # Execution model
+//!
+//! The configurations are grouped into *fused units*
+//! ([`opprentice_detectors::fused::plan`]): one structure-of-arrays kernel
+//! per detector family that advances all of the family's parameter
+//! configurations per point (bit-identical to the per-config scalar path).
+//! Units are assigned to worker shards by a **cost model** — longest-
+//! processing-time greedy over each unit's estimated ns/point, seeded from
+//! offline measurements and replaced by live per-unit timings as batches
+//! flow — so one slow family (ARIMA, SVD) does not serialize the batch
+//! behind a shard full of cheap lanes. Placement is pure scheduling:
+//! every unit's state advances sequentially wherever it runs, so shard
+//! count, shard assignment and rebalancing never change a single output
+//! bit. The worker-pool width honours the process-wide
+//! `OPPRENTICE_THREADS` knob
+//! ([`opprentice_numeric::parallel::configured_threads`]).
 
+use opprentice_detectors::fused::{plan, FusedUnit};
 use opprentice_detectors::registry;
 use opprentice_detectors::registry::ConfiguredDetector;
 use opprentice_learn::Dataset;
+use opprentice_numeric::parallel::configured_threads;
 use opprentice_timeseries::{Labels, TimeSeries};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The per-point severities of every detector configuration.
 #[derive(Debug, Clone)]
@@ -166,102 +186,35 @@ impl FeatureMatrix {
     }
 }
 
-/// Splits configurations into contiguous chunks of roughly `chunk` entries
-/// without ever separating a scheduling group (configurations sharing
-/// mutable state — e.g. wavelet band views of one filter bank — must stay
-/// on one thread, in lockstep).
-fn split_respecting_groups(
-    mut rest: &mut [ConfiguredDetector],
-    chunk: usize,
-) -> Vec<&mut [ConfiguredDetector]> {
-    let mut out = Vec::new();
-    while !rest.is_empty() {
-        let mut take = chunk.min(rest.len());
-        while take < rest.len() && rest[take].group == rest[take - 1].group {
-            take += 1;
-        }
-        let (batch, tail) = rest.split_at_mut(take);
-        out.push(batch);
-        rest = tail;
-    }
-    out
-}
-
-/// Runs every given configuration over the whole series, in parallel across
-/// configurations, and assembles the feature matrix.
+/// Runs every given configuration over the whole series and assembles the
+/// feature matrix, using the fused kernels and the cost-balanced worker
+/// pool (the offline face of [`OnlineExtractor`]; outputs are
+/// bit-identical to streaming extraction).
 ///
 /// Columns are written at each configuration's `index`, so `configs` must
-/// carry dense indices `0..configs.len()` (the registry's natural shape).
-pub fn extract_with(mut configs: Vec<ConfiguredDetector>, series: &TimeSeries) -> FeatureMatrix {
-    let labels: Vec<String> = configs.iter().map(ConfiguredDetector::label).collect();
-    let n = series.len();
-    let m = configs.len();
-
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(m.max(1));
-    let chunk = m.div_ceil(threads.max(1)).max(1);
-
-    let mut columns: Vec<(usize, Vec<Option<f64>>)> = Vec::with_capacity(m);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = split_respecting_groups(&mut configs, chunk)
-            .into_iter()
-            .map(|batch| {
-                scope.spawn(move || {
-                    let mut out = Vec::with_capacity(batch.len());
-                    let mut k = 0;
-                    while k < batch.len() {
-                        let mut end = k + 1;
-                        while end < batch.len() && batch[end].group == batch[k].group {
-                            end += 1;
-                        }
-                        // A multi-member group (wavelet band views of one
-                        // filter bank) must advance point-by-point in
-                        // lockstep; independent detectors take the plain
-                        // column-at-a-time path.
-                        let run = &mut batch[k..end];
-                        let mut cols: Vec<Vec<Option<f64>>> = run
-                            .iter()
-                            .map(|_| Vec::with_capacity(series.len()))
-                            .collect();
-                        if run.len() == 1 {
-                            cols[0]
-                                .extend(series.iter().map(|(ts, v)| run[0].observe_clamped(ts, v)));
-                        } else {
-                            for (ts, v) in series.iter() {
-                                for (cfg, col) in run.iter_mut().zip(cols.iter_mut()) {
-                                    col.push(cfg.observe_clamped(ts, v));
-                                }
-                            }
-                        }
-                        for (cfg, col) in run.iter().zip(cols) {
-                            out.push((cfg.index, col));
-                        }
-                        k = end;
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            columns.extend(h.join().expect("extraction thread panicked"));
+/// carry dense indices `0..configs.len()` (the registry's natural shape)
+/// and must be freshly built (unobserved).
+pub fn extract_with(configs: Vec<ConfiguredDetector>, series: &TimeSeries) -> FeatureMatrix {
+    let mut extractor = OnlineExtractor::with_configs(configs);
+    let mut matrix = FeatureMatrix::new(extractor.labels());
+    let timestamps: Vec<i64> = series.iter().map(|(ts, _)| ts).collect();
+    let values: Vec<Option<f64>> = series.iter().map(|(_, v)| v).collect();
+    let m = extractor.n_features();
+    let mut start = 0;
+    while start < timestamps.len() {
+        let end = (start + OFFLINE_CHUNK).min(timestamps.len());
+        let rows = extractor.observe_batch(&timestamps[start..end], &values[start..end]);
+        for (i, point) in (start..end).enumerate() {
+            matrix.push_row(&rows[i * m..(i + 1) * m], !series.is_missing(point));
         }
-    });
-    columns.sort_by_key(|(i, _)| *i);
-
-    let mut matrix = FeatureMatrix::new(labels);
-    matrix.data = vec![0.0; n * m];
-    matrix.usable = (0..n).map(|i| !series.is_missing(i)).collect();
-    for (c, col) in columns {
-        for (i, s) in col.into_iter().enumerate() {
-            if let Some(s) = s {
-                matrix.data[i * m + c] = s;
-            }
-        }
+        start = end;
     }
     matrix
 }
+
+/// Chunk size for offline extraction — large enough to amortize worker
+/// hand-off, small enough to keep every shard's block in cache.
+const OFFLINE_CHUNK: usize = 512;
 
 /// Runs the full Table 3 registry (133 configurations) over the series.
 pub fn extract_features(series: &TimeSeries) -> FeatureMatrix {
@@ -272,43 +225,63 @@ pub fn extract_features(series: &TimeSeries) -> FeatureMatrix {
 /// more than it buys on a handful of points.
 const MIN_PARALLEL_BATCH: usize = 4;
 
-/// One worker's slice of the detector set plus its per-batch output.
+/// Live measurements below this many points fall back to the seed cost —
+/// a couple of cold batches are dominated by cache warm-up.
+const MIN_MEASURED_POINTS: u64 = 1024;
+
+/// Shards are re-packed from live unit timings every this many points.
+const REBALANCE_POINTS: u64 = 4096;
+
+/// One fused kernel plus its output columns and cost accounting.
+struct Unit {
+    inner: FusedUnit,
+    /// Live timing: total kernel nanoseconds over `measured_pts` points.
+    measured_ns: u64,
+    measured_pts: u64,
+}
+
+impl Unit {
+    /// Estimated ns/point: live measurement once warm, seed cost before.
+    fn cost_estimate(&self) -> f64 {
+        if self.measured_pts >= MIN_MEASURED_POINTS {
+            self.measured_ns as f64 / self.measured_pts as f64
+        } else {
+            self.inner.seed_cost_ns
+        }
+    }
+}
+
+/// One worker's set of fused units plus its per-batch output.
+///
+/// Owned — a shard travels *through* the job channel to whichever worker
+/// picks it up and comes back with the batch output, so no lock is ever
+/// held on detector state.
 struct Shard {
-    dets: Vec<ConfiguredDetector>,
-    /// Column-major severities for the current batch:
-    /// `dets.len() × batch_len`, detector-major.
+    units: Vec<Unit>,
+    /// Per-unit output blocks for the current batch, concatenated: unit
+    /// `u` with `k` lanes occupies `k × batch_len` slots, row-major
+    /// (`block[i * k + j]`).
     out: Vec<Option<f64>>,
 }
 
 impl Shard {
-    /// Runs the shard's detectors over one batch. Per-detector state
-    /// advances sequentially, and multi-member groups (wavelet band views
-    /// of one filter bank) advance point-by-point in lockstep, so results
-    /// are bit-identical to streaming.
+    /// Runs every unit over one batch, timing each kernel for the cost
+    /// model. Per-unit state advances sequentially, so results are
+    /// bit-identical to streaming regardless of which shard a unit is on.
     fn run(&mut self, timestamps: &[i64], values: &[Option<f64>]) {
         let n = timestamps.len();
+        let total: usize = self.units.iter().map(|u| u.inner.columns.len()).sum();
         self.out.clear();
-        self.out.resize(self.dets.len() * n, None);
-        let mut k = 0;
-        while k < self.dets.len() {
-            let mut end = k + 1;
-            while end < self.dets.len() && self.dets[end].group == self.dets[k].group {
-                end += 1;
-            }
-            if end - k == 1 {
-                self.dets[k].observe_batch_clamped(
-                    timestamps,
-                    values,
-                    &mut self.out[k * n..(k + 1) * n],
-                );
-            } else {
-                for i in 0..n {
-                    for (j, cfg) in self.dets[k..end].iter_mut().enumerate() {
-                        self.out[(k + j) * n + i] = cfg.observe_clamped(timestamps[i], values[i]);
-                    }
-                }
-            }
-            k = end;
+        self.out.resize(total * n, None);
+        let mut offset = 0;
+        for unit in &mut self.units {
+            let k = unit.inner.columns.len();
+            let block = &mut self.out[offset * n..(offset + k) * n];
+            let t0 = Instant::now();
+            unit.inner.kernel.observe_batch(timestamps, values, block);
+            unit.measured_ns += t0.elapsed().as_nanos() as u64;
+            unit.measured_pts += n as u64;
+            offset += k;
         }
     }
 }
@@ -319,24 +292,33 @@ struct BatchInput {
     values: Vec<Option<f64>>,
 }
 
+/// A unit of pool work: the shard itself rides along (ownership transfer,
+/// no locking) together with the shared input.
 struct Job {
-    shard: Arc<Mutex<Shard>>,
+    shard: Shard,
     input: Arc<BatchInput>,
+}
+
+/// What comes back from a worker.
+enum Done {
+    Ok(Shard),
+    /// The worker caught a panic; the shard is lost.
+    Panicked,
 }
 
 /// A persistent pool of extraction workers. Threads live as long as the
 /// pool; dropping the pool closes the job channel and the workers exit.
 struct WorkerPool {
     job_tx: mpsc::Sender<Job>,
-    done_rx: mpsc::Receiver<bool>,
+    done_rx: mpsc::Receiver<Done>,
     _workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
     fn spawn(n_workers: usize) -> Self {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let (done_tx, done_rx) = mpsc::channel::<bool>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let job_rx = Arc::new(std::sync::Mutex::new(job_rx));
         let workers = (0..n_workers)
             .map(|i| {
                 let job_rx = Arc::clone(&job_rx);
@@ -348,13 +330,13 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => return, // pool dropped
                         };
-                        let ok = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            let mut shard = job.shard.lock().expect("shard poisoned");
-                            shard.run(&job.input.timestamps, &job.input.values);
+                        let Job { mut shard, input } = job;
+                        let done = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                            shard.run(&input.timestamps, &input.values);
+                            shard
                         }))
-                        .is_ok();
-                        drop(job);
-                        if done_tx.send(ok).is_err() {
+                        .map_or(Done::Panicked, Done::Ok);
+                        if done_tx.send(done).is_err() {
                             return;
                         }
                     })
@@ -369,13 +351,44 @@ impl WorkerPool {
     }
 }
 
-/// Runs `f` on the shard, skipping the lock when no worker holds a
-/// reference (the common case between batches).
-fn with_shard<R>(shard: &mut Arc<Mutex<Shard>>, f: impl FnOnce(&mut Shard) -> R) -> R {
-    match Arc::get_mut(shard) {
-        Some(m) => f(m.get_mut().expect("shard poisoned")),
-        None => f(&mut shard.lock().expect("shard poisoned")),
+/// Longest-processing-time greedy: units in descending cost order, each to
+/// the currently lightest shard. Deterministic — ties break on the first
+/// output column, and the lightest shard on the lowest index — though
+/// placement can never affect extraction output, only wall-clock.
+fn lpt_assign(mut units: Vec<Unit>, n_shards: usize) -> Vec<Vec<Unit>> {
+    units.sort_by(|a, b| {
+        b.cost_estimate()
+            .partial_cmp(&a.cost_estimate())
+            .expect("finite costs")
+            .then(a.inner.columns[0].cmp(&b.inner.columns[0]))
+    });
+    let mut shards: Vec<Vec<Unit>> = (0..n_shards).map(|_| Vec::new()).collect();
+    let mut loads = vec![0.0f64; n_shards];
+    for unit in units {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ia.cmp(ib)))
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        loads[lightest] += unit.cost_estimate();
+        shards[lightest].push(unit);
     }
+    shards
+}
+
+/// Measured extraction cost of one detector family, aggregated over all of
+/// its fused units (see [`OnlineExtractor::family_stats`]).
+#[derive(Debug, Clone)]
+pub struct FamilyStat {
+    /// Family display name (e.g. `"Holt-Winters"`, `"TSD/TSD MAD"`).
+    pub family: &'static str,
+    /// Configurations the family contributes.
+    pub configs: usize,
+    /// Points extracted through the batched path.
+    pub points: u64,
+    /// Total kernel nanoseconds across the family's units.
+    pub nanos: u64,
 }
 
 /// An online, stateful feature extractor: feed one point (or one batch of
@@ -383,20 +396,24 @@ fn with_shard<R>(shard: &mut Arc<Mutex<Shard>>, f: impl FnOnce(&mut Shard) -> R)
 /// (the offline [`extract_features`] is the evaluation path; all paths
 /// produce bit-identical severities).
 ///
-/// Internally the configurations are sharded across a persistent worker
-/// pool for [`OnlineExtractor::observe_batch`]; per-detector state always
-/// advances sequentially, so batched, streaming and offline extraction
-/// cannot diverge.
+/// Internally the configurations run as fused family kernels
+/// ([`opprentice_detectors::fused`]), cost-balanced across a persistent
+/// worker pool for [`OnlineExtractor::observe_batch`]; per-unit state
+/// always advances sequentially, so batched, streaming and offline
+/// extraction cannot diverge.
 pub struct OnlineExtractor {
-    shards: Vec<Arc<Mutex<Shard>>>,
+    shards: Vec<Shard>,
     labels: Vec<String>,
     n_features: usize,
     /// Single-point output row, by feature index.
     row: Vec<Option<f64>>,
+    /// Widest unit's lane count — single-point scatter scratch.
+    scratch: Vec<Option<f64>>,
     /// Batched output, row-major (`batch_len × n_features`).
     batch: Vec<Option<f64>>,
     /// Lazily spawned on the first parallel batch.
     pool: Option<WorkerPool>,
+    points_since_rebalance: u64,
 }
 
 impl OnlineExtractor {
@@ -411,7 +428,10 @@ impl OnlineExtractor {
     ///
     /// Column `c` of the output is `configs[c]`; each configuration's
     /// `index` is rewritten to its column so rows and labels always line
-    /// up, whatever subset or order the caller picked.
+    /// up, whatever subset or order the caller picked. The configurations
+    /// must be freshly built (unobserved): fused kernels reconstruct each
+    /// family's state from its [`opprentice_detectors::registry::DetectorSpec`],
+    /// so pre-advanced detector state would be discarded.
     ///
     /// # Panics
     ///
@@ -445,40 +465,37 @@ impl OnlineExtractor {
             cfg.index = column;
         }
 
-        // Partition into runs of one scheduling group, then deal the runs
-        // round-robin across shards so heavy families spread out.
-        let mut runs: Vec<Vec<ConfiguredDetector>> = Vec::new();
-        for cfg in configs {
-            match runs.last_mut() {
-                Some(run) if run[0].group == cfg.group => run.push(cfg),
-                _ => runs.push(vec![cfg]),
-            }
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8);
-        let n_shards = threads.min(runs.len()).max(1);
-        let mut shards: Vec<Vec<ConfiguredDetector>> = (0..n_shards).map(|_| Vec::new()).collect();
-        for (i, run) in runs.into_iter().enumerate() {
-            shards[i % n_shards].extend(run);
-        }
+        let units: Vec<Unit> = plan(configs)
+            .into_iter()
+            .map(|inner| Unit {
+                inner,
+                measured_ns: 0,
+                measured_pts: 0,
+            })
+            .collect();
+        let scratch_width = units
+            .iter()
+            .map(|u| u.inner.columns.len())
+            .max()
+            .expect("non-empty plan");
+        let n_shards = configured_threads().min(units.len()).max(1);
+        let shards = lpt_assign(units, n_shards)
+            .into_iter()
+            .map(|units| Shard {
+                units,
+                out: Vec::new(),
+            })
+            .collect();
 
         Self {
-            shards: shards
-                .into_iter()
-                .map(|dets| {
-                    Arc::new(Mutex::new(Shard {
-                        dets,
-                        out: Vec::new(),
-                    }))
-                })
-                .collect(),
+            shards,
             labels,
             n_features: m,
             row: vec![None; m],
+            scratch: vec![None; scratch_width],
             batch: Vec::new(),
             pool: None,
+            points_since_rebalance: 0,
         }
     }
 
@@ -492,15 +509,78 @@ impl OnlineExtractor {
         self.n_features
     }
 
+    /// Number of worker shards the units are balanced across.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Measured per-family extraction cost (batched path only), aggregated
+    /// across each family's fused units and sorted by family name. Powers
+    /// the serving benchmark's attribution and the STATUS breakdown.
+    pub fn family_stats(&self) -> Vec<FamilyStat> {
+        let mut stats: Vec<FamilyStat> = Vec::new();
+        for shard in &self.shards {
+            for unit in &shard.units {
+                let family = unit.inner.kernel.family();
+                match stats.iter_mut().find(|s| s.family == family) {
+                    Some(s) => {
+                        s.configs += unit.inner.columns.len();
+                        s.nanos += unit.measured_ns;
+                        // Units of one family can sit on different shards;
+                        // they all see every point, so the family's point
+                        // count is the max, not the sum.
+                        s.points = s.points.max(unit.measured_pts);
+                    }
+                    None => stats.push(FamilyStat {
+                        family,
+                        configs: unit.inner.columns.len(),
+                        points: unit.measured_pts,
+                        nanos: unit.measured_ns,
+                    }),
+                }
+            }
+        }
+        stats.sort_by_key(|s| s.family);
+        stats
+    }
+
+    /// Re-packs units onto shards from the live cost estimates. Called
+    /// automatically every [`REBALANCE_POINTS`] batched points; public so
+    /// benchmarks and tests can force it. Never changes extraction output
+    /// — placement is pure scheduling.
+    pub fn rebalance_now(&mut self) {
+        let n_shards = self.shards.len();
+        if n_shards < 2 {
+            return;
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        for shard in &mut self.shards {
+            units.append(&mut shard.units);
+        }
+        // Deterministic input order for the (stable) LPT sort.
+        units.sort_by_key(|u| u.inner.columns[0]);
+        self.shards = lpt_assign(units, n_shards)
+            .into_iter()
+            .map(|units| Shard {
+                units,
+                out: Vec::new(),
+            })
+            .collect();
+        self.points_since_rebalance = 0;
+    }
+
     /// Feeds the next point to every detector, returning the severity row.
     pub fn observe(&mut self, timestamp: i64, value: Option<f64>) -> &[Option<f64>] {
-        let row = &mut self.row;
         for shard in &mut self.shards {
-            with_shard(shard, |s| {
-                for cfg in &mut s.dets {
-                    row[cfg.index] = cfg.observe_clamped(timestamp, value);
+            for unit in &mut shard.units {
+                let k = unit.inner.columns.len();
+                unit.inner
+                    .kernel
+                    .observe(timestamp, value, &mut self.scratch[..k]);
+                for (j, &c) in unit.inner.columns.iter().enumerate() {
+                    self.row[c] = self.scratch[j];
                 }
-            });
+            }
         }
         &self.row
     }
@@ -525,7 +605,7 @@ impl OnlineExtractor {
 
         if n < MIN_PARALLEL_BATCH || self.shards.len() < 2 {
             for shard in &mut self.shards {
-                with_shard(shard, |s| s.run(timestamps, values));
+                shard.run(timestamps, values);
             }
         } else {
             let pool = {
@@ -537,30 +617,43 @@ impl OnlineExtractor {
                 timestamps: timestamps.to_vec(),
                 values: values.to_vec(),
             });
-            for shard in &self.shards {
+            let n_jobs = self.shards.len();
+            for shard in self.shards.drain(..) {
                 pool.job_tx
                     .send(Job {
-                        shard: Arc::clone(shard),
+                        shard,
                         input: Arc::clone(&input),
                     })
                     .expect("extraction pool is gone");
             }
-            for _ in 0..self.shards.len() {
-                let ok = pool.done_rx.recv().expect("extraction worker died");
-                assert!(ok, "extraction worker panicked");
+            // Shards come back in completion order; output assembly goes
+            // through each unit's columns, so order cannot matter.
+            for _ in 0..n_jobs {
+                match pool.done_rx.recv().expect("extraction worker died") {
+                    Done::Ok(shard) => self.shards.push(shard),
+                    Done::Panicked => panic!("extraction worker panicked"),
+                }
             }
         }
 
         let batch = &mut self.batch;
-        for shard in &mut self.shards {
-            with_shard(shard, |s| {
-                for (k, cfg) in s.dets.iter().enumerate() {
-                    let col = &s.out[k * n..(k + 1) * n];
-                    for (i, &sev) in col.iter().enumerate() {
-                        batch[i * m + cfg.index] = sev;
+        for shard in &self.shards {
+            let mut offset = 0;
+            for unit in &shard.units {
+                let k = unit.inner.columns.len();
+                let block = &shard.out[offset * n..(offset + k) * n];
+                for i in 0..n {
+                    for (j, &c) in unit.inner.columns.iter().enumerate() {
+                        batch[i * m + c] = block[i * k + j];
                     }
                 }
-            });
+                offset += k;
+            }
+        }
+
+        self.points_since_rebalance += n as u64;
+        if self.points_since_rebalance >= REBALANCE_POINTS {
+            self.rebalance_now();
         }
         &self.batch
     }
@@ -634,6 +727,55 @@ mod tests {
                 assert_eq!(r.unwrap_or(0.0), expected[c], "point {i} feature {c}");
             }
         }
+    }
+
+    #[test]
+    fn batched_extraction_matches_streaming_across_rebalances() {
+        let s = toy_series(24 * 8);
+        let timestamps: Vec<i64> = s.iter().map(|(ts, _)| ts).collect();
+        let values: Vec<Option<f64>> = s.iter().map(|(_, v)| v).collect();
+        let mut streaming = OnlineExtractor::new(s.interval());
+        let mut batched = OnlineExtractor::new(s.interval());
+        let m = batched.n_features();
+        // Uneven chunks with a forced rebalance in the middle.
+        let mut start = 0;
+        let mut chunk = 1;
+        while start < timestamps.len() {
+            let end = (start + chunk).min(timestamps.len());
+            if start > timestamps.len() / 2 {
+                batched.rebalance_now();
+            }
+            let rows = batched
+                .observe_batch(&timestamps[start..end], &values[start..end])
+                .to_vec();
+            for (i, point) in (start..end).enumerate() {
+                let row = streaming.observe(timestamps[point], values[point]);
+                for c in 0..m {
+                    assert_eq!(
+                        row[c].map(f64::to_bits),
+                        rows[i * m + c].map(f64::to_bits),
+                        "point {point} feature {c}"
+                    );
+                }
+            }
+            start = end;
+            chunk = chunk % 37 + 5;
+        }
+    }
+
+    #[test]
+    fn family_stats_cover_all_configs() {
+        let s = toy_series(24 * 4);
+        let timestamps: Vec<i64> = s.iter().map(|(ts, _)| ts).collect();
+        let values: Vec<Option<f64>> = s.iter().map(|(_, v)| v).collect();
+        let mut ex = OnlineExtractor::new(s.interval());
+        ex.observe_batch(&timestamps, &values);
+        let stats = ex.family_stats();
+        let configs: usize = stats.iter().map(|f| f.configs).sum();
+        assert_eq!(configs, 133);
+        assert!(stats.iter().all(|f| f.points == timestamps.len() as u64));
+        // Families are aggregated: far fewer entries than units.
+        assert!(stats.len() <= 14, "{stats:?}");
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod strategy;
 
 pub use cthld::{CthldMetric, Preference};
 pub use error::PipelineError;
-pub use features::{extract_features, FeatureMatrix};
+pub use features::{extract_features, FamilyStat, FeatureMatrix};
 pub use pipeline::{Detection, Opprentice, OpprenticeConfig, RetrainError, TrainingReport};
 pub use snapshot::{RecoveryError, SessionSnapshot, SnapshotError};
 pub use strategy::TrainingStrategy;

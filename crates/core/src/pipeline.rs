@@ -204,8 +204,20 @@ impl Opprentice {
     /// Cumulative wall-clock microseconds spent extracting features over
     /// the pipeline's lifetime ([`Opprentice::observe`] and
     /// [`Opprentice::observe_batch`]).
+    ///
+    /// This is the *caller-experienced* latency of extraction calls: under
+    /// the fused batch path the family kernels run concurrently on the
+    /// worker pool, so this is less than the summed kernel time. Per-family
+    /// CPU attribution lives in [`Opprentice::family_stats`].
     pub fn extract_us(&self) -> u64 {
         self.extract_ns / 1_000
+    }
+
+    /// Measured per-family extraction cost (kernel CPU time over the
+    /// batched path), aggregated across each family's fused units — see
+    /// [`crate::features::FamilyStat`].
+    pub fn family_stats(&self) -> Vec<crate::features::FamilyStat> {
+        self.extractor.family_stats()
     }
 
     /// Cumulative wall-clock microseconds spent scoring (matrix append +

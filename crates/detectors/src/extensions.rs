@@ -16,7 +16,7 @@
 //! 133 — the `extension` bench binary shows the forest absorbing them with
 //! zero manual tuning.
 
-use crate::registry::{registry, ConfiguredDetector};
+use crate::registry::{registry, ConfiguredDetector, DetectorSpec};
 use crate::Detector;
 use opprentice_numeric::stats;
 use opprentice_timeseries::slot_of_day;
@@ -269,6 +269,9 @@ pub fn extended_registry(interval: u32) -> Vec<ConfiguredDetector> {
             .map(|(i, detector)| ConfiguredDetector {
                 index: base + i,
                 group: base_group + i,
+                // Extension detectors have no fused kernel; they run
+                // through their boxed `Detector` unchanged.
+                spec: DetectorSpec::Opaque,
                 detector,
             }),
     );

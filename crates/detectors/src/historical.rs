@@ -12,7 +12,7 @@ use opprentice_numeric::rolling::SortedWindow;
 use opprentice_timeseries::slot_of_day;
 
 /// Minimum same-slot samples before severities start.
-const MIN_HISTORY: usize = 5;
+pub(crate) const MIN_HISTORY: usize = 5;
 
 /// The historical average / historical MAD detector.
 #[derive(Debug, Clone)]

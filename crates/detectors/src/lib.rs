@@ -46,6 +46,7 @@ pub mod arima;
 pub mod diff;
 pub mod ewma;
 pub mod extensions;
+pub mod fused;
 pub mod historical;
 pub mod holt_winters;
 pub mod ma;

@@ -17,6 +17,78 @@ use crate::tsd::Tsd;
 use crate::wavelet::WaveletDetector;
 use crate::Detector;
 
+/// Machine-readable family + parameters of one configuration.
+///
+/// This is what the config-fused extraction engine (`fused::plan`) keys on
+/// to group adjacent same-family configurations into one
+/// structure-of-arrays kernel. Families without a fused kernel — and any
+/// detector added outside this registry — use [`DetectorSpec::Opaque`] and
+/// run through their boxed [`Detector`] unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorSpec {
+    /// Simple threshold (stateless).
+    SimpleThreshold,
+    /// Diff against last slot / day / week.
+    Diff {
+        /// Which reference point the difference is taken against.
+        lag: DiffLag,
+        /// Sampling interval in seconds.
+        interval: u32,
+    },
+    /// Simple moving average.
+    SimpleMa {
+        /// Window length in points.
+        win: usize,
+    },
+    /// Linearly weighted moving average.
+    WeightedMa {
+        /// Window length in points.
+        win: usize,
+    },
+    /// Moving average of successive absolute differences.
+    MaOfDiff {
+        /// Window length in diffs.
+        win: usize,
+    },
+    /// EWMA prediction detector.
+    Ewma {
+        /// Smoothing constant in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Time-series decomposition (weekly seasonal baseline).
+    Tsd {
+        /// Seasonal memory in weeks.
+        weeks: usize,
+        /// `true` selects the median/MAD variant.
+        robust: bool,
+        /// Sampling interval in seconds.
+        interval: u32,
+    },
+    /// Historical average over same-time-of-day samples.
+    Historical {
+        /// Seasonal memory in weeks (`7 * weeks` samples per slot).
+        weeks: usize,
+        /// `true` selects the median/MAD variant.
+        robust: bool,
+        /// Sampling interval in seconds.
+        interval: u32,
+    },
+    /// Additive Holt–Winters with a daily season.
+    HoltWinters {
+        /// Level smoothing constant.
+        alpha: f64,
+        /// Trend smoothing constant.
+        beta: f64,
+        /// Seasonal smoothing constant.
+        gamma: f64,
+        /// Sampling interval in seconds.
+        interval: u32,
+    },
+    /// No fused kernel: the boxed detector runs as-is (SVD, wavelet,
+    /// ARIMA, extension detectors).
+    Opaque,
+}
+
 /// One entry of the registry: a ready-to-run detector configuration.
 pub struct ConfiguredDetector {
     /// Stable feature index (0..132) — column in the feature matrix.
@@ -27,6 +99,12 @@ pub struct ConfiguredDetector {
     /// extraction layer never splits a group across workers. Groups are
     /// contiguous in registry order.
     pub group: usize,
+    /// Family + parameters, for the fused extraction engine. Must describe
+    /// `detector` exactly: the fused path rebuilds the family's state from
+    /// the spec, so a spec that disagrees with the boxed detector would
+    /// silently change severities. Use [`DetectorSpec::Opaque`] when in
+    /// doubt — it is always correct, only slower.
+    pub spec: DetectorSpec,
     /// The boxed detector, fresh (no state).
     pub detector: Box<dyn Detector>,
 }
@@ -38,6 +116,7 @@ impl Clone for ConfiguredDetector {
         Self {
             index: self.index,
             group: self.group,
+            spec: self.spec,
             detector: self.detector.clone_box(),
         }
     }
@@ -77,36 +156,58 @@ pub const CONFIG_COUNT: usize = 133;
 /// Builds the full Table 3 registry for a KPI sampled at `interval`
 /// seconds. Order is deterministic; indices are stable across calls.
 pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
-    // (group, detector); each independent detector is its own group, the
-    // three band views of one wavelet filter bank share a group.
-    let mut out: Vec<(usize, Box<dyn Detector>)> = Vec::with_capacity(CONFIG_COUNT);
+    // (group, spec, detector); each independent detector is its own group,
+    // the three band views of one wavelet filter bank share a group.
+    type Entry = (usize, DetectorSpec, Box<dyn Detector>);
+    let mut out: Vec<Entry> = Vec::with_capacity(CONFIG_COUNT);
     let mut next_group = 0usize;
-    fn push(out: &mut Vec<(usize, Box<dyn Detector>)>, group: &mut usize, d: Box<dyn Detector>) {
-        out.push((*group, d));
+    fn push(out: &mut Vec<Entry>, group: &mut usize, spec: DetectorSpec, d: Box<dyn Detector>) {
+        out.push((*group, spec, d));
         *group += 1;
     }
 
     // Simple threshold [24] — 1 configuration.
-    push(&mut out, &mut next_group, Box::new(SimpleThreshold::new()));
+    push(
+        &mut out,
+        &mut next_group,
+        DetectorSpec::SimpleThreshold,
+        Box::new(SimpleThreshold::new()),
+    );
 
     // Diff — last-slot, last-day, last-week.
     for lag in [DiffLag::LastSlot, DiffLag::LastDay, DiffLag::LastWeek] {
         push(
             &mut out,
             &mut next_group,
+            DetectorSpec::Diff { lag, interval },
             Box::new(Diff::new(lag, interval)),
         );
     }
 
     // Simple MA [4], weighted MA [11], MA of diff — win = 10..50 points.
     for win in [10usize, 20, 30, 40, 50] {
-        push(&mut out, &mut next_group, Box::new(SimpleMa::new(win)));
+        push(
+            &mut out,
+            &mut next_group,
+            DetectorSpec::SimpleMa { win },
+            Box::new(SimpleMa::new(win)),
+        );
     }
     for win in [10usize, 20, 30, 40, 50] {
-        push(&mut out, &mut next_group, Box::new(WeightedMa::new(win)));
+        push(
+            &mut out,
+            &mut next_group,
+            DetectorSpec::WeightedMa { win },
+            Box::new(WeightedMa::new(win)),
+        );
     }
     for win in [10usize, 20, 30, 40, 50] {
-        push(&mut out, &mut next_group, Box::new(MaOfDiff::new(win)));
+        push(
+            &mut out,
+            &mut next_group,
+            DetectorSpec::MaOfDiff { win },
+            Box::new(MaOfDiff::new(win)),
+        );
     }
 
     // EWMA [11] — alpha = 0.1, 0.3, 0.5, 0.7, 0.9.
@@ -114,40 +215,41 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
         push(
             &mut out,
             &mut next_group,
+            DetectorSpec::Ewma { alpha },
             Box::new(EwmaDetector::new(alpha)),
         );
     }
 
     // TSD [1] and TSD MAD — win = 1..5 weeks.
-    for weeks in 1..=5usize {
-        push(
-            &mut out,
-            &mut next_group,
-            Box::new(Tsd::new(weeks, false, interval)),
-        );
-    }
-    for weeks in 1..=5usize {
-        push(
-            &mut out,
-            &mut next_group,
-            Box::new(Tsd::new(weeks, true, interval)),
-        );
+    for robust in [false, true] {
+        for weeks in 1..=5usize {
+            push(
+                &mut out,
+                &mut next_group,
+                DetectorSpec::Tsd {
+                    weeks,
+                    robust,
+                    interval,
+                },
+                Box::new(Tsd::new(weeks, robust, interval)),
+            );
+        }
     }
 
     // Historical average [5] and historical MAD — win = 1..5 weeks.
-    for weeks in 1..=5usize {
-        push(
-            &mut out,
-            &mut next_group,
-            Box::new(HistoricalAverage::new(weeks, false, interval)),
-        );
-    }
-    for weeks in 1..=5usize {
-        push(
-            &mut out,
-            &mut next_group,
-            Box::new(HistoricalAverage::new(weeks, true, interval)),
-        );
+    for robust in [false, true] {
+        for weeks in 1..=5usize {
+            push(
+                &mut out,
+                &mut next_group,
+                DetectorSpec::Historical {
+                    weeks,
+                    robust,
+                    interval,
+                },
+                Box::new(HistoricalAverage::new(weeks, robust, interval)),
+            );
+        }
     }
 
     // Holt–Winters [6] — alpha, beta, gamma in {0.2, 0.4, 0.6, 0.8}³ = 64.
@@ -158,6 +260,12 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
                 push(
                     &mut out,
                     &mut next_group,
+                    DetectorSpec::HoltWinters {
+                        alpha,
+                        beta,
+                        gamma,
+                        interval,
+                    },
                     Box::new(HoltWintersDetector::new(alpha, beta, gamma, interval)),
                 );
             }
@@ -170,6 +278,7 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
             push(
                 &mut out,
                 &mut next_group,
+                DetectorSpec::Opaque,
                 Box::new(SvdDetector::new(rows, cols)),
             );
         }
@@ -180,7 +289,7 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
     for win_days in [3usize, 5, 7] {
         let views = WaveletDetector::banked(win_days, interval);
         for view in views {
-            out.push((next_group, Box::new(view)));
+            out.push((next_group, DetectorSpec::Opaque, Box::new(view)));
         }
         next_group += 1;
     }
@@ -189,15 +298,17 @@ pub fn registry(interval: u32) -> Vec<ConfiguredDetector> {
     push(
         &mut out,
         &mut next_group,
+        DetectorSpec::Opaque,
         Box::new(ArimaDetector::new(interval)),
     );
 
     debug_assert_eq!(out.len(), CONFIG_COUNT);
     out.into_iter()
         .enumerate()
-        .map(|(index, (group, detector))| ConfiguredDetector {
+        .map(|(index, (group, spec, detector))| ConfiguredDetector {
             index,
             group,
+            spec,
             detector,
         })
         .collect()

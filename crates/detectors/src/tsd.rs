@@ -15,11 +15,11 @@ use opprentice_numeric::rolling::SortedWindow;
 use opprentice_timeseries::slot_of_week;
 
 /// How many residuals back the spread estimate looks.
-const RESIDUAL_WINDOW: usize = 2016;
+pub(crate) const RESIDUAL_WINDOW: usize = 2016;
 /// How many residuals before severities start.
-const MIN_RESIDUALS: usize = 10;
+pub(crate) const MIN_RESIDUALS: usize = 10;
 /// Spread (and MAD in particular) is recomputed every this many points.
-const SPREAD_REFRESH: usize = 64;
+pub(crate) const SPREAD_REFRESH: usize = 64;
 
 /// The TSD / TSD MAD detector.
 #[derive(Debug, Clone)]

@@ -197,10 +197,10 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, data: &Dataset) {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        self.fit_with_threads(data, threads);
+        // Honour the process-wide OPPRENTICE_THREADS budget — the same
+        // knob the extraction worker pool uses. Tree construction is
+        // bit-identical for any thread count (per-tree seeding).
+        self.fit_with_threads(data, opprentice_numeric::parallel::configured_threads());
     }
 
     fn score(&self, features: &[f64]) -> f64 {

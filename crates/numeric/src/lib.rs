@@ -9,6 +9,8 @@
 //! * [`rolling`] — sliding-window order statistics (lazy sorted ring) for
 //!   the allocation-free extraction hot path,
 //! * [`matrix`] — a small dense matrix with linear solves,
+//! * [`parallel`] — the process-wide `OPPRENTICE_THREADS` thread budget
+//!   shared by every parallel site (extraction pool, forest training),
 //! * [`svd`] — one-sided Jacobi singular value decomposition,
 //! * [`wavelet`] — Haar multiresolution analysis with band reconstruction,
 //! * [`acf`] — autocorrelation, Durbin–Levinson PACF and Yule–Walker AR fits,
@@ -36,6 +38,7 @@ pub mod acf;
 pub mod arima;
 pub mod decompose;
 pub mod matrix;
+pub mod parallel;
 pub mod rolling;
 pub mod smoothing;
 pub mod stats;

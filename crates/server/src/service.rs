@@ -902,7 +902,12 @@ mod tests {
     }
 
     /// STATUS exposes the session's cumulative extraction and inference
-    /// wall-clock, so operators can see where serving time goes.
+    /// wall-clock, so operators can see where serving time goes. Under
+    /// the fused batch path the family kernels run concurrently on the
+    /// extraction pool: the counter must report the *caller-experienced*
+    /// latency of the batch call, never the summed per-worker CPU time —
+    /// so it advances monotonically but stays bounded by session
+    /// wall-clock.
     #[test]
     fn status_reports_cumulative_timing_counters() {
         let (handle, join) = start_server(test_config());
@@ -914,6 +919,7 @@ mod tests {
             "OK observed=0 labeled=0 trained=0 extract_us=0 infer_us=0 \
              train_us=0 model_version=0 training=0"
         );
+        let session_t0 = std::time::Instant::now();
         assert!(c.send("HELLO 60").starts_with("OK"));
 
         fn counter(status: &str, key: &str) -> u64 {
@@ -934,12 +940,31 @@ mod tests {
         let after_obs = counter(&status, "extract_us=");
         assert!(after_obs > 0, "{status}");
 
-        let batch: Vec<String> = (0..64).map(|i| format!("{}.0", 100 + i % 5)).collect();
-        assert!(c
-            .send(&format!("OBSB {} {}", 64 * 60, batch.join(" ")))
-            .starts_with("OK"));
+        // Batches large enough to take the worker-pool path (with several
+        // shards extracting concurrently).
+        for round in 0..4 {
+            let batch: Vec<String> = (0..64).map(|i| format!("{}.0", 100 + i % 5)).collect();
+            assert!(c
+                .send(&format!(
+                    "OBSB {} {}",
+                    (64 + round * 64) * 60,
+                    batch.join(" ")
+                ))
+                .starts_with("OK"));
+        }
         let status = c.send("STATUS");
-        assert!(counter(&status, "extract_us=") > after_obs, "{status}");
+        let after_obsb = counter(&status, "extract_us=");
+        assert!(after_obsb > after_obs, "{status}");
+        // The no-double-counting bound: with N pool workers extracting in
+        // parallel, summed kernel time could be ~N x wall-clock; the
+        // counter reports wall-clock, so it can never exceed the time the
+        // whole session has existed.
+        let session_us = session_t0.elapsed().as_micros() as u64;
+        assert!(
+            after_obsb <= session_us,
+            "extract_us={after_obsb} exceeds session wall-clock {session_us}us \
+             (per-worker time double-counted?)"
+        );
 
         c.send("QUIT");
         handle.shutdown();
